@@ -1,0 +1,100 @@
+// Design-choice ablations for the ITB mechanism (DESIGN.md §2):
+//   * in-transit overhead (275 ns detect + 200 ns DMA) scaled 0x..4x —
+//     the paper's future work includes "reducing the latency overhead";
+//   * ITB pool size (spill behaviour);
+//   * slack-buffer size (40/80/160 bytes) — the paper blames the small
+//     80-byte slack plus 150 ns routing for early saturation;
+//   * switch routing delay (75/150/300 ns).
+// Each knob is evaluated as ITB-RR saturation throughput (and UP/DOWN
+// where the knob affects it too) on the torus under uniform traffic.
+#include "bench_common.hpp"
+
+using namespace itb;
+using namespace itb::bench;
+
+namespace {
+
+double sat_with(Testbed& tb, RoutingScheme scheme,
+                const DestinationPattern& pattern, const BenchOptions& opts,
+                MyrinetParams params) {
+  RunConfig cfg = default_config(opts);
+  cfg.params = params;
+  return find_saturation(tb, scheme, pattern, cfg, start_load("torus"),
+                         opts.fast ? 1.5 : 1.3, opts.fast ? 9 : 14)
+      .throughput;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_args(argc, argv);
+  print_header("Ablations", "ITB overhead / pool / slack / routing delay");
+  Testbed tb = make_testbed("torus");
+  UniformPattern pattern(tb.topo().num_hosts());
+
+  {
+    std::printf("\nITB overhead scaling (detect+DMA = scale * 475 ns):\n");
+    TextTable t({"scale", "ITB-RR sat", "zero-load lat(ns)"});
+    for (const double scale : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+      MyrinetParams p;
+      p.itb_detect_delay = static_cast<TimePs>(275000 * scale);
+      p.itb_dma_delay = static_cast<TimePs>(200000 * scale);
+      const double sat = sat_with(tb, RoutingScheme::kItbRr, pattern, opts, p);
+      RunConfig cfg = default_config(opts);
+      cfg.params = p;
+      cfg.load_flits_per_ns_per_switch = 0.004;
+      const RunResult low = run_point(tb, RoutingScheme::kItbRr, pattern, cfg);
+      t.add_row({fmt_ratio(scale), fmt_load(sat), fmt_ns(low.avg_latency_ns)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::printf("\nITB pool size (spills force the host-memory path):\n");
+    TextTable t({"pool", "ITB-RR sat", "spilled deliveries"});
+    for (const std::int64_t pool : {std::int64_t{1024}, std::int64_t{9216},
+                                    std::int64_t{92160},
+                                    std::int64_t{1} << 30}) {
+      MyrinetParams p;
+      p.itb_pool_bytes = pool;
+      RunConfig cfg = default_config(opts);
+      cfg.params = p;
+      cfg.load_flits_per_ns_per_switch = 0.02;
+      const RunResult r = run_point(tb, RoutingScheme::kItbRr, pattern, cfg);
+      const double sat = sat_with(tb, RoutingScheme::kItbRr, pattern, opts, p);
+      t.add_row({std::to_string(pool) + "B", fmt_load(sat),
+                 std::to_string(r.spills)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::printf("\nslack buffer size (stop/go thresholds scale with it):\n");
+    TextTable t({"slack", "U/D sat", "ITB-RR sat"});
+    for (const int slack : {40, 80, 160}) {
+      MyrinetParams p;
+      p.slack_buffer_flits = slack;
+      p.stop_threshold_flits = slack * 56 / 80;
+      p.go_threshold_flits = slack * 40 / 80;
+      const double ud = sat_with(tb, RoutingScheme::kUpDown, pattern, opts, p);
+      const double rr = sat_with(tb, RoutingScheme::kItbRr, pattern, opts, p);
+      t.add_row({std::to_string(slack) + "B", fmt_load(ud), fmt_load(rr)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::printf("\nswitch routing delay:\n");
+    TextTable t({"routing", "U/D sat", "ITB-RR sat"});
+    for (const std::int64_t r_ns : {std::int64_t{75}, std::int64_t{150},
+                                    std::int64_t{300}}) {
+      MyrinetParams p;
+      p.routing_delay = ns(r_ns);
+      const double ud = sat_with(tb, RoutingScheme::kUpDown, pattern, opts, p);
+      const double rr = sat_with(tb, RoutingScheme::kItbRr, pattern, opts, p);
+      t.add_row({std::to_string(r_ns) + "ns", fmt_load(ud), fmt_load(rr)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

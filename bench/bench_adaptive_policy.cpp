@@ -1,0 +1,36 @@
+// Future-work extension (§5): "new route selection algorithms that
+// implement some adaptivity at the source host".  Compares the paper's
+// SP/RR policies against two extensions — uniformly random selection and
+// latency-feedback adaptive selection — on all three networks under
+// uniform traffic.
+#include "bench_common.hpp"
+
+using namespace itb;
+using namespace itb::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_args(argc, argv);
+  print_header("Adaptive policy extension",
+               "SP vs RR vs RND vs ADAPT (uniform traffic)");
+
+  for (const char* name : {"torus", "express", "cplant"}) {
+    Testbed tb = make_testbed(name);
+    UniformPattern pattern(tb.topo().num_hosts());
+    std::printf("\n--- %s ---\n", name);
+    TextTable t({"policy", "saturation", "lat @ 60% of U/D sat (ns)"});
+    for (const RoutingScheme scheme :
+         {RoutingScheme::kItbSp, RoutingScheme::kItbRr, RoutingScheme::kItbRnd,
+          RoutingScheme::kItbAdapt}) {
+      RunConfig cfg = default_config(opts);
+      const auto sat = find_saturation(tb, scheme, pattern, cfg,
+                                       start_load(name), opts.fast ? 1.5 : 1.3,
+                                       opts.fast ? 9 : 14);
+      cfg.load_flits_per_ns_per_switch = start_load(name);
+      const RunResult low = run_point(tb, scheme, pattern, cfg);
+      t.add_row({to_string(scheme), fmt_load(sat.throughput),
+                 fmt_ns(low.avg_latency_ns)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

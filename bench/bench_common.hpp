@@ -1,0 +1,72 @@
+// Shared setup for the reproduction benches: paper topologies, default
+// measurement windows, and printing helpers.
+//
+// Every bench binary accepts --fast / --full / --csv FILE and honours the
+// ITB_BENCH_FAST environment variable.  FAST mode shrinks the simulated
+// windows and sweep resolution so the whole suite smoke-tests in well
+// under a minute; FULL mode (the default) uses windows long enough for
+// stable averages at the paper's scale.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
+#include "harness/testbed.hpp"
+#include "topo/generators.hpp"
+#include "traffic/patterns.hpp"
+
+namespace itb::bench {
+
+/// The three evaluation networks of §4.1.
+inline Testbed make_testbed(const std::string& name) {
+  if (name == "torus") return Testbed(make_torus_2d(8, 8, 8));
+  if (name == "express") return Testbed(make_torus_2d_express(8, 8, 8));
+  if (name == "cplant") return Testbed(make_cplant());
+  throw std::invalid_argument("unknown testbed: " + name);
+}
+
+inline RunConfig default_config(const BenchOptions& opts) {
+  RunConfig cfg;
+  cfg.payload_bytes = 512;
+  if (opts.fast) {
+    cfg.warmup = us(60);
+    cfg.measure = us(150);
+  } else {
+    cfg.warmup = us(150);
+    cfg.measure = us(400);
+  }
+  return cfg;
+}
+
+/// Sensible saturation-sweep starting loads (flits/ns/switch) per network:
+/// roughly 40% of the UP/DOWN saturation point so ladders stay short.
+inline double start_load(const std::string& testbed) {
+  if (testbed == "torus") return 0.006;
+  if (testbed == "express") return 0.02;
+  return 0.015;  // cplant
+}
+
+inline const std::vector<RoutingScheme>& paper_schemes() {
+  static const std::vector<RoutingScheme> kSchemes = {
+      RoutingScheme::kUpDown, RoutingScheme::kItbSp, RoutingScheme::kItbRr};
+  return kSchemes;
+}
+
+/// Print a measured-vs-paper anchor line.
+inline void print_anchor(const char* label, double measured, double paper) {
+  std::printf("  %-28s measured %.4f   paper %.4f   ratio %.2f\n", label,
+              measured, paper, paper > 0 ? measured / paper : 0.0);
+}
+
+inline void print_header(const char* experiment, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment, what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace itb::bench

@@ -1,0 +1,54 @@
+// Figure 10: latency vs accepted traffic under the bit-reversal
+// permutation, for (a) the 2-D torus and (b) the torus with express
+// channels.  CPLANT is excluded (400 hosts is not a power of two), as in
+// the paper.
+#include "bench_common.hpp"
+
+using namespace itb;
+using namespace itb::bench;
+
+namespace {
+
+struct Anchor {
+  const char* testbed;
+  double updown, itb_rr;  // paper's saturation throughputs
+};
+
+constexpr Anchor kAnchors[] = {
+    {"torus", 0.017, 0.032},
+    {"express", 0.070, 0.110},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_args(argc, argv);
+  print_header("Figure 10", "bit-reversal traffic: latency vs accepted traffic");
+
+  for (const Anchor& anchor : kAnchors) {
+    Testbed tb = make_testbed(anchor.testbed);
+    BitReversalPattern pattern(tb.topo().num_hosts());
+    std::printf("\n--- %s ---\n", anchor.testbed);
+    double sat[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < paper_schemes().size(); ++i) {
+      const RoutingScheme scheme = paper_schemes()[i];
+      RunConfig cfg = default_config(opts);
+      const auto res =
+          find_saturation(tb, scheme, pattern, cfg, start_load(anchor.testbed),
+                          opts.fast ? 1.45 : 1.25, opts.fast ? 10 : 18);
+      sat[i] = res.throughput;
+      print_series(std::cout,
+                   std::string("fig10 ") + anchor.testbed + " bit-reversal",
+                   to_string(scheme), res.trace);
+      append_series_csv(opts.csv, std::string("fig10_") + anchor.testbed,
+                        to_string(scheme), res.trace);
+    }
+    std::printf("\nsaturation throughput, %s (bit-reversal):\n",
+                anchor.testbed);
+    print_anchor("UP/DOWN", sat[0], anchor.updown);
+    print_anchor("ITB-RR", sat[2], anchor.itb_rr);
+    std::printf("  ITB-RR / UP-DOWN improvement: %.2fx (paper %.2fx)\n",
+                sat[2] / sat[0], anchor.itb_rr / anchor.updown);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 12: latency vs accepted traffic under the local distribution
+// (destinations at most 3 switches away) for the 2-D torus, the torus
+// with express channels and CPLANT, plus the 4-switch variant mentioned
+// in §4.2.  The paper's point: with local traffic up*/down* is already
+// nearly minimal and well balanced, so the ITB gain shrinks (torus) or
+// vanishes (express, CPLANT) — but ITB never *hurts*.
+#include "bench_common.hpp"
+
+using namespace itb;
+using namespace itb::bench;
+
+namespace {
+
+struct Anchor {
+  const char* testbed;
+  double updown, itb;  // paper's approximate saturation values
+};
+
+constexpr Anchor kAnchors[] = {
+    {"torus", 0.10, 0.13},
+    {"express", 0.15, 0.15},  // "UP/DOWN performs as ITB-RR"
+    {"cplant", 0.12, 0.13},   // "small benefits"
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_args(argc, argv);
+  print_header("Figure 12", "local traffic (<=3 switches): latency vs traffic");
+
+  for (const Anchor& anchor : kAnchors) {
+    Testbed tb = make_testbed(anchor.testbed);
+    LocalPattern pattern(tb.topo(), 3);
+    std::printf("\n--- %s, destinations <= 3 switches away ---\n",
+                anchor.testbed);
+    double sat[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < paper_schemes().size(); ++i) {
+      RunConfig cfg = default_config(opts);
+      const auto res = find_saturation(tb, paper_schemes()[i], pattern, cfg,
+                                       0.04, opts.fast ? 1.5 : 1.3,
+                                       opts.fast ? 9 : 14);
+      sat[i] = res.throughput;
+      print_series(std::cout, std::string("fig12 ") + anchor.testbed + " local3",
+                   to_string(paper_schemes()[i]), res.trace);
+      append_series_csv(opts.csv, std::string("fig12_") + anchor.testbed,
+                        to_string(paper_schemes()[i]), res.trace);
+    }
+    std::printf("saturation: UP/DOWN %.4f  ITB-SP %.4f  ITB-RR %.4f "
+                "(paper ~%.2f vs ~%.2f)\n",
+                sat[0], sat[1], sat[2], anchor.updown, anchor.itb);
+    std::printf("ITB-RR / UP-DOWN: %.2fx — ITB must not lose: %s\n",
+                sat[2] / sat[0], sat[2] >= 0.9 * sat[0] ? "OK" : "VIOLATED");
+  }
+
+  // §4.2 variant: local distribution with 4-switch radius on the torus.
+  {
+    Testbed tb = make_testbed("torus");
+    LocalPattern pattern(tb.topo(), 4);
+    std::printf("\n--- torus, destinations <= 4 switches away ---\n");
+    for (const RoutingScheme scheme : paper_schemes()) {
+      RunConfig cfg = default_config(opts);
+      const auto res = find_saturation(tb, scheme, pattern, cfg, 0.02,
+                                       opts.fast ? 1.5 : 1.3,
+                                       opts.fast ? 9 : 14);
+      std::printf("  %-8s saturation %.4f\n", to_string(scheme),
+                  res.throughput);
+      append_series_csv(opts.csv, "fig12_torus_local4", to_string(scheme),
+                        res.trace);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 7: average message latency vs accepted traffic under the uniform
+// destination distribution, for (a) the 2-D torus, (b) the torus with
+// express channels and (c) CPLANT, comparing UP/DOWN, ITB-SP and ITB-RR.
+//
+// Prints one latency/traffic series per (network, scheme) — the data
+// behind each curve of the figure — followed by the saturation throughput
+// of every scheme next to the paper's reported value.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace itb;
+using namespace itb::bench;
+
+struct Anchor {
+  const char* testbed;
+  double updown, itb_sp, itb_rr;  // paper's saturation throughputs
+};
+
+constexpr Anchor kAnchors[] = {
+    {"torus", 0.015, 0.029, 0.032},
+    {"express", 0.070, 0.120, 0.110},
+    {"cplant", 0.050, 0.090, 0.095},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_args(argc, argv);
+  print_header("Figure 7", "uniform traffic: latency vs accepted traffic");
+
+  for (const Anchor& anchor : kAnchors) {
+    Testbed tb = make_testbed(anchor.testbed);
+    UniformPattern pattern(tb.topo().num_hosts());
+    std::printf("\n--- %s (%d switches, %d hosts) ---\n", anchor.testbed,
+                tb.topo().num_switches(), tb.topo().num_hosts());
+
+    double sat[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < paper_schemes().size(); ++i) {
+      const RoutingScheme scheme = paper_schemes()[i];
+      RunConfig cfg = default_config(opts);
+      const auto res =
+          find_saturation(tb, scheme, pattern, cfg, start_load(anchor.testbed),
+                          opts.fast ? 1.45 : 1.25, opts.fast ? 10 : 18);
+      sat[i] = res.throughput;
+      print_series(std::cout, std::string("fig7 ") + anchor.testbed + " uniform",
+                   to_string(scheme), res.trace);
+      append_series_csv(opts.csv, std::string("fig7_") + anchor.testbed,
+                        to_string(scheme), res.trace);
+    }
+    std::printf("\nsaturation throughput (flits/ns/switch), %s:\n",
+                anchor.testbed);
+    print_anchor("UP/DOWN", sat[0], anchor.updown);
+    print_anchor("ITB-SP", sat[1], anchor.itb_sp);
+    print_anchor("ITB-RR", sat[2], anchor.itb_rr);
+    std::printf("  ITB-SP / UP-DOWN improvement: %.2fx (paper %.2fx)\n",
+                sat[1] / sat[0], anchor.itb_sp / anchor.updown);
+    std::printf("  ITB-RR / UP-DOWN improvement: %.2fx (paper %.2fx)\n",
+                sat[2] / sat[0], anchor.itb_rr / anchor.updown);
+  }
+  return 0;
+}

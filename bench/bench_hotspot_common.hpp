@@ -1,0 +1,72 @@
+// Shared machinery for the hotspot throughput tables (Tables 1-3): pick
+// seeded random hotspot locations, find each scheme's saturation
+// throughput, and print a paper-style table plus averages.
+#pragma once
+
+#include "bench_common.hpp"
+
+#include "sim/rng.hpp"
+
+namespace itb::bench {
+
+inline std::vector<HostId> hotspot_locations(int num_hosts, int count,
+                                             std::uint64_t seed = 2000) {
+  Rng rng(seed);
+  std::vector<HostId> out;
+  while (static_cast<int>(out.size()) < count) {
+    const auto h = static_cast<HostId>(
+        rng.next_below(static_cast<std::uint64_t>(num_hosts)));
+    if (std::find(out.begin(), out.end(), h) == out.end()) out.push_back(h);
+  }
+  return out;
+}
+
+struct HotspotTableResult {
+  // [fraction][scheme] -> average saturation throughput over locations.
+  std::vector<std::vector<double>> avg;
+};
+
+/// Runs the full table for one testbed: for each hotspot traffic fraction
+/// and each location, the saturation throughput of every scheme.
+inline HotspotTableResult run_hotspot_table(
+    const std::string& testbed_name, const std::vector<double>& fractions,
+    const BenchOptions& opts, std::uint64_t location_seed = 2000) {
+  Testbed tb = make_testbed(testbed_name);
+  const int locations = opts.fast ? 3 : 10;
+  const auto spots =
+      hotspot_locations(tb.topo().num_hosts(), locations, location_seed);
+
+  HotspotTableResult result;
+  for (const double frac : fractions) {
+    std::printf("\n%.0f %% hotspot traffic, %s:\n", frac * 100.0,
+                testbed_name.c_str());
+    TextTable table({"Hotspot", "U/D", "ITB-SP", "ITB-RR"});
+    std::vector<double> sums(paper_schemes().size(), 0.0);
+    for (std::size_t li = 0; li < spots.size(); ++li) {
+      HotspotPattern pattern(tb.topo().num_hosts(), spots[li], frac);
+      std::vector<std::string> row{std::to_string(li + 1)};
+      for (std::size_t si = 0; si < paper_schemes().size(); ++si) {
+        RunConfig cfg = default_config(opts);
+        const auto sat = find_saturation(
+            tb, paper_schemes()[si], pattern, cfg,
+            start_load(testbed_name) * 0.7, opts.fast ? 1.5 : 1.3,
+            opts.fast ? 9 : 14);
+        sums[si] += sat.throughput;
+        row.push_back(fmt_load(sat.throughput));
+      }
+      table.add_row(std::move(row));
+    }
+    std::vector<std::string> avg_row{"Avg"};
+    std::vector<double> avgs;
+    for (const double s : sums) {
+      avgs.push_back(s / static_cast<double>(spots.size()));
+      avg_row.push_back(fmt_load(avgs.back()));
+    }
+    table.add_row(std::move(avg_row));
+    table.print(std::cout);
+    result.avg.push_back(std::move(avgs));
+  }
+  return result;
+}
+
+}  // namespace itb::bench

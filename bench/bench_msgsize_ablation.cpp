@@ -1,0 +1,41 @@
+// §4.2 ablation: the paper simulated 32-, 512- and 1024-byte messages and
+// reports that the results are qualitatively similar (only 512-byte plots
+// are shown).  This bench regenerates the torus/uniform saturation
+// comparison for all three sizes.
+#include "bench_common.hpp"
+
+using namespace itb;
+using namespace itb::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_args(argc, argv);
+  print_header("Message-size ablation",
+               "torus, uniform: saturation for 32/512/1024-byte messages");
+
+  Testbed tb = make_testbed("torus");
+  UniformPattern pattern(tb.topo().num_hosts());
+  TextTable table({"payload", "U/D", "ITB-SP", "ITB-RR", "RR/U-D"});
+  for (const int payload : {32, 512, 1024}) {
+    std::vector<double> sat;
+    for (const RoutingScheme scheme : paper_schemes()) {
+      RunConfig cfg = default_config(opts);
+      cfg.payload_bytes = payload;
+      // Small messages saturate earlier per flit (routing dominates).
+      const double start = payload <= 32 ? 0.002 : start_load("torus");
+      const auto res = find_saturation(tb, scheme, pattern, cfg, start,
+                                       opts.fast ? 1.5 : 1.3,
+                                       opts.fast ? 10 : 16);
+      sat.push_back(res.throughput);
+    }
+    table.add_row({std::to_string(payload) + "B", fmt_load(sat[0]),
+                   fmt_load(sat[1]), fmt_load(sat[2]),
+                   fmt_ratio(sat[2] / sat[0])});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper: \"the obtained results are qualitatively similar\" across\n"
+      "sizes — the ITB advantage must persist for 512B/1024B and the\n"
+      "ordering must not invert dramatically for 32B (where the fixed\n"
+      "475 ns in-transit overhead is large relative to the message).\n");
+  return 0;
+}

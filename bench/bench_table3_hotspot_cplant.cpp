@@ -1,0 +1,23 @@
+// Table 3: saturation throughput on the CPLANT network with 5% hotspot
+// traffic (paper reports the average over hotspot locations).
+#include "bench_hotspot_common.hpp"
+
+using namespace itb;
+using namespace itb::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_args(argc, argv);
+  print_header("Table 3", "hotspot throughput, CPLANT");
+  const auto result = run_hotspot_table("cplant", {0.05}, opts);
+
+  std::printf("\naverages vs paper:\n");
+  print_anchor("UP/DOWN", result.avg[0][0], 0.0340);
+  print_anchor("ITB-SP", result.avg[0][1], 0.0423);
+  print_anchor("ITB-RR", result.avg[0][2], 0.0451);
+  std::printf(
+      "\npaper: ITB-SP/ITB-RR improve UP/DOWN by 1.24x/1.32x.\n"
+      "measured: %.2fx/%.2fx\n",
+      result.avg[0][1] / result.avg[0][0],
+      result.avg[0][2] / result.avg[0][0]);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Quickstart: build the paper's 8x8 torus, route it three ways (UP/DOWN,
+// ITB-SP, ITB-RR), push uniform traffic at a moderate load, and print what
+// the library measures.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "harness/runner.hpp"
+#include "harness/testbed.hpp"
+#include "topo/generators.hpp"
+#include "traffic/patterns.hpp"
+
+int main() {
+  using namespace itb;
+
+  // The paper's 2-D torus: 64 16-port switches, 8 hosts each (512 hosts).
+  Testbed tb(make_torus_2d(8, 8, /*hosts_per_switch=*/8));
+  std::printf("topology: %s — %d switches, %d hosts, %d cables\n",
+              tb.topo().name().c_str(), tb.topo().num_switches(),
+              tb.topo().num_hosts(), tb.topo().num_cables());
+
+  UniformPattern uniform(tb.topo().num_hosts());
+
+  RunConfig cfg;
+  cfg.load_flits_per_ns_per_switch = 0.012;  // just below UP/DOWN saturation
+  cfg.payload_bytes = 512;
+  cfg.warmup = us(100);
+  cfg.measure = us(300);
+
+  std::printf("\nload = %.4f flits/ns/switch, 512-byte messages, uniform\n\n",
+              cfg.load_flits_per_ns_per_switch);
+  std::printf("%-10s %10s %12s %10s %8s\n", "scheme", "accepted",
+              "latency(ns)", "p99(ns)", "ITB/msg");
+  for (const RoutingScheme s : {RoutingScheme::kUpDown, RoutingScheme::kItbSp,
+                                RoutingScheme::kItbRr}) {
+    const RunResult r = run_point(tb, s, uniform, cfg);
+    std::printf("%-10s %10.4f %12.1f %10.1f %8.2f%s\n", to_string(s),
+                r.accepted, r.avg_latency_ns, r.p99_latency_ns, r.avg_itbs,
+                r.saturated ? "  (saturated)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Example: generating a latency-vs-traffic curve (one panel of the
+// paper's Figure 7) for a chosen network and routing scheme, with CSV
+// output suitable for plotting.
+//
+//   $ ./examples/saturation_sweep torus ITB-RR /tmp/curve.csv
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
+#include "harness/testbed.hpp"
+#include "topo/generators.hpp"
+#include "traffic/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace itb;
+  const std::string topo_name = argc > 1 ? argv[1] : "torus";
+  const std::string scheme_name = argc > 2 ? argv[2] : "ITB-RR";
+  const std::string csv = argc > 3 ? argv[3] : "";
+
+  Testbed tb = [&] {
+    if (topo_name == "express") return Testbed(make_torus_2d_express(8, 8, 8));
+    if (topo_name == "cplant") return Testbed(make_cplant());
+    return Testbed(make_torus_2d(8, 8, 8));
+  }();
+
+  RoutingScheme scheme = RoutingScheme::kItbRr;
+  for (const RoutingScheme s :
+       {RoutingScheme::kUpDown, RoutingScheme::kItbSp, RoutingScheme::kItbRr,
+        RoutingScheme::kItbRnd, RoutingScheme::kItbAdapt}) {
+    if (scheme_name == to_string(s)) scheme = s;
+  }
+
+  UniformPattern pattern(tb.topo().num_hosts());
+  RunConfig cfg;
+  cfg.warmup = us(150);
+  cfg.measure = us(400);
+  const auto sat = find_saturation(tb, scheme, pattern, cfg, 0.006, 1.25, 18);
+  print_series(std::cout, topo_name + " uniform", to_string(scheme),
+               sat.trace);
+  std::printf("\nsaturation throughput: %.4f flits/ns/switch "
+              "(first saturating load %.4f)\n",
+              sat.throughput, sat.saturating_load);
+  if (!csv.empty()) {
+    append_series_csv(csv, topo_name, to_string(scheme), sat.trace);
+    std::printf("series appended to %s\n", csv.c_str());
+  }
+  return 0;
+}

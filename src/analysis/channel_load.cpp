@@ -1,0 +1,98 @@
+#include "analysis/channel_load.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace itb {
+
+namespace {
+std::size_t uz(std::int64_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+ChannelLoadModel compute_channel_load(const Topology& topo,
+                                      const RouteSet& routes,
+                                      PathPolicy policy,
+                                      const DestinationPattern& pattern,
+                                      std::uint64_t seed, int samples,
+                                      double channel_capacity_flits_per_ns) {
+  ChannelLoadModel model;
+  model.crossings_per_packet.assign(uz(topo.num_channels()), 0.0);
+
+  Rng rng(seed);
+  const int hosts = topo.num_hosts();
+  long accepted_samples = 0;
+  double itbs = 0.0, hops = 0.0;
+
+  for (int i = 0; i < samples; ++i) {
+    const auto src =
+        static_cast<HostId>(rng.next_below(static_cast<std::uint64_t>(hosts)));
+    const HostId dst = pattern.pick(src, rng);
+    if (dst == kNoHost || dst == src) continue;
+    ++accepted_samples;
+
+    const SwitchId ssw = topo.host(src).sw;
+    const SwitchId dsw = topo.host(dst).sw;
+    const auto& alts = routes.alternatives(ssw, dsw);
+    assert(!alts.empty());
+    const std::size_t alt =
+        (policy == PathPolicy::kSingle || alts.size() == 1)
+            ? 0
+            : rng.next_below(alts.size());
+    const Route& r = alts[alt];
+    itbs += r.num_itbs();
+    hops += r.total_switch_hops;
+
+    auto cross = [&](ChannelId ch) {
+      model.crossings_per_packet[uz(ch)] += 1.0;
+    };
+
+    // Injection channel (source host -> its switch).
+    cross(topo.channel_from(topo.host(src).cable, false));
+    // Fabric and in-transit channels, leg by leg.
+    std::size_t sw_index = 0;
+    for (std::size_t li = 0; li < r.legs.size(); ++li) {
+      const RouteLeg& leg = r.legs[li];
+      for (int h = 0; h < leg.switch_hops; ++h) {
+        const SwitchId from = r.switches[sw_index];
+        const PortPeer& peer =
+            topo.peer(from, leg.ports[static_cast<std::size_t>(h)]);
+        cross(topo.channel_from_switch(from, peer.cable));
+        ++sw_index;
+      }
+      if (li + 1 < r.legs.size()) {
+        // Ejection into and re-injection out of the in-transit host.
+        const CableId hc = topo.host(leg.end_host).cable;
+        cross(topo.channel_from(hc, true));
+        cross(topo.channel_from(hc, false));
+      }
+    }
+    // Delivery channel (destination switch -> destination host).
+    cross(topo.channel_from(topo.host(dst).cable, true));
+  }
+
+  if (accepted_samples == 0) return model;
+  for (double& v : model.crossings_per_packet) {
+    v /= static_cast<double>(accepted_samples);
+  }
+  model.expected_itbs = itbs / static_cast<double>(accepted_samples);
+  model.expected_hops = hops / static_cast<double>(accepted_samples);
+
+  const auto it = std::max_element(model.crossings_per_packet.begin(),
+                                   model.crossings_per_packet.end());
+  model.bottleneck =
+      static_cast<ChannelId>(it - model.crossings_per_packet.begin());
+  model.bottleneck_crossings = *it;
+
+  // With q = expected crossings per packet of the hottest channel and L
+  // payload flits per packet, the aggregate packet rate lambda satisfies
+  // lambda * q * L <= capacity, i.e. payload throughput lambda * L <=
+  // capacity / q.  Normalised per switch to match the paper's unit.
+  if (model.bottleneck_crossings > 0) {
+    model.throughput_bound = channel_capacity_flits_per_ns /
+                             model.bottleneck_crossings /
+                             static_cast<double>(topo.num_switches());
+  }
+  return model;
+}
+
+}  // namespace itb

@@ -1,0 +1,90 @@
+#include "analysis/zero_load.hpp"
+
+#include <cassert>
+
+#include "net/packet.hpp"
+
+namespace itb {
+
+TimePs zero_load_latency(const Topology& topo, const Route& route,
+                         int payload_bytes, const MyrinetParams& params) {
+  const TimePs F = params.flit_time;
+  const TimePs R = params.routing_delay;
+  TimePs t = 0;
+
+  // Walk the legs; `at` tracks the physical switch so per-cable
+  // propagation delays (which may differ per cable) are honoured.
+  SwitchId at = route.src_switch;
+  std::size_t leg_start_index = 0;  // index into route.switches
+  for (std::size_t li = 0; li < route.legs.size(); ++li) {
+    const RouteLeg& leg = route.legs[li];
+    const bool final_leg = li + 1 == route.legs.size();
+
+    // Access cable: the sending host (source or in-transit) to `at`.
+    const HostId sender =
+        li == 0 ? kNoHost : route.legs[li - 1].end_host;
+    const double access_len =
+        li == 0 ? 10.0 /* source host cable; all generators use 10 m */
+                : topo.cable(topo.host(sender).cable).length_m;
+    t += F + params.cable_prop_delay(access_len);
+
+    // Fabric hops of this leg.
+    for (int h = 0; h < leg.switch_hops; ++h) {
+      const std::size_t sw_index = leg_start_index + static_cast<std::size_t>(h);
+      const SwitchId from = route.switches[sw_index];
+      const SwitchId to = route.switches[sw_index + 1];
+      // Find the cable actually used: the port stored in the leg.
+      const PortPeer& peer = topo.peer(from, leg.ports[static_cast<std::size_t>(h)]);
+      assert(peer.kind == PeerKind::kSwitch && peer.sw == to);
+      (void)to;
+      t += R;  // routing at `from`
+      t += F + params.cable_prop_delay(topo.cable(peer.cable).length_m);
+    }
+    at = route.switches[leg_start_index + static_cast<std::size_t>(leg.switch_hops)];
+    leg_start_index += static_cast<std::size_t>(leg.switch_hops);
+
+    // Delivery hop off the last switch of the leg (to the in-transit host
+    // or the destination host).
+    const HostId end = final_leg ? kNoHost : leg.end_host;
+    const double out_len =
+        end == kNoHost ? 10.0 : topo.cable(topo.host(end).cable).length_m;
+    t += R;  // routing at the leg's last switch
+    t += F + params.cable_prop_delay(out_len);
+
+    if (final_leg) {
+      // Tail trails the header by (payload + type - 1) flit times.
+      t += static_cast<TimePs>(payload_bytes + params.type_bytes - 1) * F;
+    } else {
+      // In-transit pipeline before the next leg starts.
+      t += params.itb_detect_delay + params.itb_dma_delay;
+    }
+  }
+  (void)at;
+  return t;
+}
+
+double average_zero_load_latency_ns(const Topology& topo,
+                                    const RouteSet& routes, int payload_bytes,
+                                    const MyrinetParams& params) {
+  double sum = 0.0;
+  long pairs = 0;
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    for (SwitchId d = 0; d < topo.num_switches(); ++d) {
+      const auto& alts = routes.alternatives(s, d);
+      if (alts.empty()) continue;
+      // Weight by the number of host pairs using this switch pair.
+      const long hs = static_cast<long>(topo.hosts_of_switch(s).size());
+      const long hd = static_cast<long>(topo.hosts_of_switch(d).size());
+      long weight = hs * hd;
+      if (s == d) weight = hs * (hs - 1);
+      if (weight <= 0) continue;
+      const TimePs lat =
+          zero_load_latency(topo, alts.front(), payload_bytes, params);
+      sum += to_ns(lat) * static_cast<double>(weight);
+      pairs += weight;
+    }
+  }
+  return pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace itb

@@ -1,0 +1,41 @@
+#include "core/itb_split.hpp"
+
+#include <cassert>
+
+namespace itb {
+
+std::vector<int> itb_split_points(const UpDown& ud, const SwitchPath& path) {
+  std::vector<int> splits;
+  bool gone_down = false;
+  for (int i = 0; i < path.hops(); ++i) {
+    const bool up = ud.is_up(path.cable[static_cast<std::size_t>(i)],
+                             path.sw[static_cast<std::size_t>(i)]);
+    if (up && gone_down) {
+      splits.push_back(i);  // eject/re-inject at path.sw[i]
+      gone_down = false;
+    }
+    if (!up) gone_down = true;
+  }
+  return splits;
+}
+
+std::vector<SwitchPath> split_path(const SwitchPath& path,
+                                   const std::vector<int>& split_points) {
+  std::vector<SwitchPath> segments;
+  int start = 0;
+  auto cut = [&](int end) {
+    SwitchPath seg;
+    seg.sw.assign(path.sw.begin() + start, path.sw.begin() + end + 1);
+    seg.cable.assign(path.cable.begin() + start, path.cable.begin() + end);
+    segments.push_back(std::move(seg));
+    start = end;
+  };
+  for (const int p : split_points) {
+    assert(p > start && p < path.hops());
+    cut(p);
+  }
+  cut(path.hops());
+  return segments;
+}
+
+}  // namespace itb

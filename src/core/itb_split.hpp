@@ -1,0 +1,31 @@
+// The heart of the in-transit buffer mechanism: splitting a minimal path
+// that violates the up*/down* rule into legal sub-paths.
+//
+// Walking the path, the first hop that would traverse an "up" cable after a
+// "down" cable marks a violation; ejecting the packet into a host attached
+// to the switch *before* that hop and re-injecting it there resets the
+// up*/down* phase (a freshly injected packet may again go up), so the walk
+// continues with a clean phase.  Greedy splitting at each violation yields
+// the minimum number of in-transit stops for the given path, and every
+// resulting segment is legal by construction.
+#pragma once
+
+#include <vector>
+
+#include "route/switch_path.hpp"
+#include "route/updown.hpp"
+
+namespace itb {
+
+/// Indices i (0 < i < hops()) such that an in-transit host must be placed
+/// at `path.sw[i]`.  Empty when the path is already legal.
+[[nodiscard]] std::vector<int> itb_split_points(const UpDown& ud,
+                                                const SwitchPath& path);
+
+/// Splits `path` at the given points; the returned segments concatenate
+/// back to `path` (each split switch appears as the last switch of one
+/// segment and the first of the next).
+[[nodiscard]] std::vector<SwitchPath> split_path(
+    const SwitchPath& path, const std::vector<int>& split_points);
+
+}  // namespace itb

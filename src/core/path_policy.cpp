@@ -1,0 +1,82 @@
+#include "core/path_policy.hpp"
+
+#include <cassert>
+
+namespace itb {
+
+const char* to_string(PathPolicy p) {
+  switch (p) {
+    case PathPolicy::kSingle: return "SP";
+    case PathPolicy::kRoundRobin: return "RR";
+    case PathPolicy::kRandom: return "RND";
+    case PathPolicy::kAdaptive: return "ADAPT";
+  }
+  return "?";
+}
+
+PathSelector::PathSelector(PathPolicy policy, int num_switches,
+                           std::uint64_t seed)
+    : policy_(policy), rng_(seed) {
+  const auto n = static_cast<std::size_t>(num_switches);
+  if (policy_ == PathPolicy::kRoundRobin) {
+    // Random starting offsets: different sources begin their rotation at
+    // different alternatives, so the load-spreading effect of round-robin
+    // appears immediately instead of only after many repeat messages to
+    // the same destination.
+    rr_next_.resize(n);
+    for (auto& v : rr_next_) v = static_cast<std::uint32_t>(rng_.next_u64());
+  }
+  if (policy_ == PathPolicy::kAdaptive) ewma_.assign(n, {});
+}
+
+int PathSelector::pick(SwitchId dst_switch, int num_alternatives) {
+  assert(num_alternatives > 0);
+  if (num_alternatives == 1) return 0;
+  switch (policy_) {
+    case PathPolicy::kSingle:
+      return 0;
+    case PathPolicy::kRoundRobin: {
+      auto& next = rr_next_[static_cast<std::size_t>(dst_switch)];
+      const int alt = static_cast<int>(next % static_cast<std::uint32_t>(
+                                                  num_alternatives));
+      ++next;
+      return alt;
+    }
+    case PathPolicy::kRandom:
+      return static_cast<int>(
+          rng_.next_below(static_cast<std::uint64_t>(num_alternatives)));
+    case PathPolicy::kAdaptive: {
+      auto& scores = ewma_[static_cast<std::size_t>(dst_switch)];
+      if (scores.size() < static_cast<std::size_t>(num_alternatives)) {
+        scores.resize(static_cast<std::size_t>(num_alternatives), -1.0);
+      }
+      if (rng_.next_bool(kExploreEps)) {
+        return static_cast<int>(
+            rng_.next_below(static_cast<std::uint64_t>(num_alternatives)));
+      }
+      int best = 0;
+      for (int i = 0; i < num_alternatives; ++i) {
+        const double si = scores[static_cast<std::size_t>(i)];
+        const double sb = scores[static_cast<std::size_t>(best)];
+        if (si < 0) return i;  // unexplored alternative first
+        if (si < sb) best = i;
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void PathSelector::feedback(SwitchId dst_switch, int alternative,
+                            TimePs latency) {
+  if (policy_ != PathPolicy::kAdaptive) return;
+  auto& scores = ewma_[static_cast<std::size_t>(dst_switch)];
+  if (scores.size() <= static_cast<std::size_t>(alternative)) {
+    scores.resize(static_cast<std::size_t>(alternative) + 1, -1.0);
+  }
+  double& s = scores[static_cast<std::size_t>(alternative)];
+  const auto l = static_cast<double>(latency);
+  s = (s < 0) ? l : (1.0 - kEwmaAlpha) * s + kEwmaAlpha * l;
+}
+
+}  // namespace itb

@@ -1,0 +1,49 @@
+// Source-host path-selection policies.
+//
+// The paper evaluates two (single path and round-robin) and names adaptive
+// selection at the source host as future work; kRandom and kAdaptive are
+// provided as that extension and exercised by bench_adaptive_policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "topo/types.hpp"
+
+namespace itb {
+
+enum class PathPolicy : std::uint8_t {
+  kSingle,      // ITB-SP / UP-DOWN: always alternative 0
+  kRoundRobin,  // ITB-RR: cycle through the alternatives per pair
+  kRandom,      // uniformly random alternative per packet (extension)
+  kAdaptive,    // latency-EWMA driven with epsilon exploration (extension)
+};
+
+[[nodiscard]] const char* to_string(PathPolicy p);
+
+/// Per-source-NIC selection state.  `pick` chooses the alternative index
+/// for a packet headed to `dst_switch`; `feedback` (used only by kAdaptive)
+/// reports the measured network latency of a delivered packet so the source
+/// can steer toward currently faster alternatives — the "adaptivity at the
+/// source host" the paper's future-work section sketches.
+class PathSelector {
+ public:
+  PathSelector(PathPolicy policy, int num_switches, std::uint64_t seed);
+
+  [[nodiscard]] PathPolicy policy() const { return policy_; }
+
+  int pick(SwitchId dst_switch, int num_alternatives);
+  void feedback(SwitchId dst_switch, int alternative, TimePs latency);
+
+ private:
+  PathPolicy policy_;
+  Rng rng_;
+  std::vector<std::uint32_t> rr_next_;       // per destination switch
+  std::vector<std::vector<double>> ewma_;    // per destination switch, per alt
+  static constexpr double kEwmaAlpha = 0.1;
+  static constexpr double kExploreEps = 0.1;
+};
+
+}  // namespace itb

@@ -1,0 +1,52 @@
+// Construction of the two routing tables the paper compares.
+#pragma once
+
+#include <cstdint>
+
+#include "core/route_set.hpp"
+#include "route/simple_routes.hpp"
+#include "route/updown.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+struct ItbBuildOptions {
+  /// Paper: at most 10 alternative routes per source-destination pair.
+  int max_alternatives = 10;
+  /// Salt for spreading in-transit host choices across a switch's hosts.
+  std::uint64_t itb_host_salt = 0;
+  /// Order alternatives by ascending in-transit count, so ITB-SP (which
+  /// always uses alternative 0) takes a legal minimal path whenever one
+  /// exists.  false keeps the enumeration (DFS) order, which matches the
+  /// paper's measured 0.43 in-transit buffers per ITB-SP message more
+  /// closely (fewest-first yields ~0.23); see EXPERIMENTS.md.
+  bool prefer_fewest_itbs = false;
+};
+
+/// UP/DOWN baseline: one simple_routes-selected legal path per pair,
+/// single-leg routes (no in-transit hosts).
+[[nodiscard]] RouteSet build_updown_routes(const Topology& topo,
+                                           const SimpleRoutes& sr);
+
+/// ITB table: up to `max_alternatives` *minimal* paths per pair, each split
+/// into legal legs with in-transit hosts at the violating switches.
+/// Alternatives are ordered by ascending in-transit count (stable within a
+/// count), so alternative 0 — the one ITB-SP always uses — is a legal
+/// minimal path whenever one exists.  A minimal path whose required split
+/// switch has no attached host is discarded; if every candidate is
+/// discarded the pair falls back to one shortest legal (up*/down*) route so
+/// connectivity is never lost.
+[[nodiscard]] RouteSet build_itb_routes(const Topology& topo,
+                                        const UpDown& ud,
+                                        ItbBuildOptions opts = {});
+
+/// Helper shared by both builders: lowers a switch-level path (plus split
+/// points for ITB legs) into a runtime Route with concrete ports and
+/// in-transit host choices.  `alt_index` participates in in-transit host
+/// spreading so different alternatives use different hosts of the same
+/// switch.
+[[nodiscard]] Route compile_route(const Topology& topo, const SwitchPath& path,
+                                  const std::vector<int>& split_points,
+                                  int alt_index, std::uint64_t itb_host_salt);
+
+}  // namespace itb

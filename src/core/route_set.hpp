@@ -1,0 +1,48 @@
+// Routing tables at switch-pair granularity.
+//
+// Myrinet NICs hold per-destination route lists; because every host on a
+// switch shares the same switch-level paths, the table is stored per
+// ordered (source switch, destination switch) pair and the delivery port is
+// appended per packet.  The paper caps alternatives at 10 per pair to keep
+// NIC look-up cheap; the same cap is the default here.
+#pragma once
+
+#include <vector>
+
+#include "core/route.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+class RouteSet {
+ public:
+  RouteSet(int num_switches, RoutingAlgorithm algo)
+      : num_switches_(num_switches), algo_(algo),
+        table_(static_cast<std::size_t>(num_switches) *
+               static_cast<std::size_t>(num_switches)) {}
+
+  [[nodiscard]] RoutingAlgorithm algorithm() const { return algo_; }
+  [[nodiscard]] int num_switches() const { return num_switches_; }
+
+  [[nodiscard]] const std::vector<Route>& alternatives(SwitchId s,
+                                                       SwitchId d) const {
+    return table_[key(s, d)];
+  }
+
+  std::vector<Route>& mutable_alternatives(SwitchId s, SwitchId d) {
+    return table_[key(s, d)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t key(SwitchId s, SwitchId d) const {
+    return static_cast<std::size_t>(s) *
+               static_cast<std::size_t>(num_switches_) +
+           static_cast<std::size_t>(d);
+  }
+
+  int num_switches_;
+  RoutingAlgorithm algo_;
+  std::vector<std::vector<Route>> table_;
+};
+
+}  // namespace itb

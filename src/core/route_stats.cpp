@@ -1,0 +1,46 @@
+#include "core/route_stats.hpp"
+
+namespace itb {
+
+RouteSetStats analyze_routes(const Topology& topo, const RouteSet& rs) {
+  RouteSetStats st;
+  const int n = topo.num_switches();
+  const auto dist = topo.all_switch_distances();
+
+  long pairs = 0;
+  long alts_total = 0;
+  double hops_sp = 0.0, hops_all = 0.0, itbs_sp = 0.0, itbs_all = 0.0;
+  long minimal_sp = 0;
+
+  for (SwitchId s = 0; s < n; ++s) {
+    for (SwitchId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto& alts = rs.alternatives(s, d);
+      if (alts.empty()) continue;
+      ++pairs;
+      alts_total += static_cast<long>(alts.size());
+      const int min_dist = dist[static_cast<std::size_t>(s) *
+                                    static_cast<std::size_t>(n) +
+                                static_cast<std::size_t>(d)];
+      hops_sp += alts.front().total_switch_hops;
+      itbs_sp += alts.front().num_itbs();
+      if (alts.front().total_switch_hops == min_dist) ++minimal_sp;
+      for (const Route& r : alts) {
+        hops_all += r.total_switch_hops;
+        itbs_all += r.num_itbs();
+      }
+    }
+  }
+  if (pairs == 0) return st;
+  const auto p = static_cast<double>(pairs);
+  const auto a = static_cast<double>(alts_total);
+  st.avg_hops_sp = hops_sp / p;
+  st.avg_hops_all = hops_all / a;
+  st.minimal_fraction_sp = static_cast<double>(minimal_sp) / p;
+  st.avg_itbs_sp = itbs_sp / p;
+  st.avg_itbs_all = itbs_all / a;
+  st.avg_alternatives = a / p;
+  return st;
+}
+
+}  // namespace itb

@@ -1,0 +1,147 @@
+#include "harness/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace itb {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::separator() {
+  if (!needs_comma_.empty() && needs_comma_.back() && !pending_key_) {
+    out_ += ',';
+  }
+  if (!needs_comma_.empty() && !pending_key_) needs_comma_.back() = true;
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  separator();
+  out_ += json_quote(k);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  if (std::isfinite(v)) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separator();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separator();
+  out_ += json_quote(v);
+  return *this;
+}
+
+namespace {
+void emit_result(JsonWriter& w, const RunResult& r) {
+  w.begin_object();
+  w.key("offered").value(r.offered);
+  w.key("accepted").value(r.accepted);
+  w.key("latency_ns").value(r.avg_latency_ns);
+  w.key("latency_gen_ns").value(r.avg_latency_gen_ns);
+  w.key("latency_p50_ns").value(r.p50_latency_ns);
+  w.key("latency_p99_ns").value(r.p99_latency_ns);
+  w.key("latency_ci95_ns").value(r.latency_ci95_ns);
+  w.key("itbs_per_msg").value(r.avg_itbs);
+  w.key("delivered").value(r.delivered);
+  w.key("spills").value(r.spills);
+  w.key("saturated").value(r.saturated);
+  w.end_object();
+}
+}  // namespace
+
+std::string run_result_to_json(const RunResult& r) {
+  JsonWriter w;
+  emit_result(w, r);
+  return w.str();
+}
+
+std::string series_to_json(const std::string& experiment,
+                           const std::string& scheme,
+                           const std::vector<SweepPoint>& series) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("experiment").value(experiment);
+  w.key("scheme").value(scheme);
+  w.key("points").begin_array();
+  for (const SweepPoint& p : series) emit_result(w, p.result);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace itb

@@ -1,0 +1,52 @@
+// Minimal JSON emission for machine consumption of results.
+//
+// Deliberately tiny: an append-only writer for objects/arrays of numbers,
+// strings and booleans — everything a RunResult needs.  No parsing, no
+// DOM; downstream tooling (plots, dashboards) consumes the output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+
+namespace itb {
+
+/// Escapes and quotes a string for JSON.
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+/// Streaming writer producing compact, valid JSON.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Key for the next value (objects only).
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void separator();
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// One RunResult as a JSON object.
+[[nodiscard]] std::string run_result_to_json(const RunResult& r);
+
+/// A sweep series as a JSON document with metadata.
+[[nodiscard]] std::string series_to_json(const std::string& experiment,
+                                         const std::string& scheme,
+                                         const std::vector<SweepPoint>& series);
+
+}  // namespace itb

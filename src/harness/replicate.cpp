@@ -1,0 +1,36 @@
+#include "harness/replicate.hpp"
+
+#include <cmath>
+
+namespace itb {
+
+namespace {
+double ci95(const RunningStats& s) {
+  if (s.count() < 2) return 0.0;
+  // Sample variance from the population variance RunningStats keeps.
+  const double n = static_cast<double>(s.count());
+  const double sample_var = s.variance() * n / (n - 1.0);
+  return 1.96 * std::sqrt(sample_var / n);
+}
+}  // namespace
+
+double ReplicatedResult::accepted_ci95() const { return ci95(accepted); }
+double ReplicatedResult::latency_ci95_ns() const { return ci95(latency_ns); }
+
+ReplicatedResult run_replicated(Testbed& tb, RoutingScheme scheme,
+                                const DestinationPattern& pattern,
+                                RunConfig cfg, int replications) {
+  ReplicatedResult out;
+  const std::uint64_t base_seed = cfg.seed;
+  for (int k = 0; k < replications; ++k) {
+    cfg.seed = base_seed + static_cast<std::uint64_t>(k) * 0x9e3779b9ULL + 1;
+    RunResult r = run_point(tb, scheme, pattern, cfg);
+    out.accepted.add(r.accepted);
+    out.latency_ns.add(r.avg_latency_ns);
+    if (r.saturated) ++out.saturated_count;
+    out.runs.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace itb

@@ -1,0 +1,34 @@
+// Independent replications: the same experiment under different seeds.
+//
+// A single simulation gives a point estimate; R independent replications
+// give a mean and a proper confidence interval over the seed ensemble —
+// the methodology behind error bars on simulation studies (the paper ran
+// 10 hotspot locations in exactly this spirit).
+#pragma once
+
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "sim/stats.hpp"
+
+namespace itb {
+
+struct ReplicatedResult {
+  std::vector<RunResult> runs;
+  RunningStats accepted;       // flits/ns/switch over replications
+  RunningStats latency_ns;     // injection->delivery mean per replication
+  int saturated_count = 0;
+
+  /// ~95% half-width on the mean accepted traffic across replications
+  /// (normal approximation; replications are independent by seeding).
+  [[nodiscard]] double accepted_ci95() const;
+  [[nodiscard]] double latency_ci95_ns() const;
+};
+
+/// Run `replications` copies of the experiment with derived seeds
+/// (base_seed + k) and aggregate.
+[[nodiscard]] ReplicatedResult run_replicated(
+    Testbed& tb, RoutingScheme scheme, const DestinationPattern& pattern,
+    RunConfig cfg, int replications);
+
+}  // namespace itb

@@ -1,0 +1,120 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace itb {
+
+namespace {
+std::string fmt(const char* spec, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+}  // namespace
+
+std::string fmt_load(double v) { return fmt("%.4f", v); }
+std::string fmt_ns(double v) { return fmt("%.1f", v); }
+std::string fmt_ratio(double v) { return fmt("%.2f", v); }
+std::string fmt_pct(double v) { return fmt("%.1f%%", v * 100.0); }
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& scheme,
+                  const std::vector<SweepPoint>& series) {
+  os << "# " << title << " — " << scheme << "\n";
+  os << "  offered    accepted   latency(ns)  lat-gen(ns)   p99(ns)  itb/msg"
+     << "  sat\n";
+  for (const SweepPoint& p : series) {
+    const RunResult& r = p.result;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  %8.4f   %8.4f   %10.1f   %10.1f  %8.1f   %6.2f  %s\n",
+                  r.offered, r.accepted, r.avg_latency_ns, r.avg_latency_gen_ns,
+                  r.p99_latency_ns, r.avg_itbs, r.saturated ? "yes" : "no");
+    os << buf;
+  }
+}
+
+void append_series_csv(const std::string& path, const std::string& experiment,
+                       const std::string& scheme,
+                       const std::vector<SweepPoint>& series) {
+  if (path.empty()) return;
+  std::ifstream probe(path);
+  const bool empty = !probe.good() || probe.peek() == std::ifstream::traits_type::eof();
+  probe.close();
+  std::ofstream os(path, std::ios::app);
+  if (empty) {
+    os << "experiment,scheme,offered,accepted,lat_net_ns,lat_gen_ns,p99_ns,"
+          "itbs_per_msg,saturated\n";
+  }
+  for (const SweepPoint& p : series) {
+    const RunResult& r = p.result;
+    os << experiment << ',' << scheme << ',' << r.offered << ',' << r.accepted
+       << ',' << r.avg_latency_ns << ',' << r.avg_latency_gen_ns << ','
+       << r.p99_latency_ns << ',' << r.avg_itbs << ','
+       << (r.saturated ? 1 : 0) << '\n';
+  }
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    width[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto pad = [&](const std::string& s, std::size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+  os << "  ";
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << pad(headers_[i], width[i]) << "  ";
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << "  ";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << pad(row[i], width[i]) << "  ";
+    }
+    os << "\n";
+  }
+}
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opts;
+  const char* env = std::getenv("ITB_BENCH_FAST");
+  if (env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0') {
+    opts.fast = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      opts.fast = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      opts.fast = false;
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      opts.csv = argv[++i];
+    } else {
+      std::cerr << "unknown argument: " << argv[i]
+                << " (supported: --fast, --full, --csv FILE)\n";
+    }
+  }
+  return opts;
+}
+
+}  // namespace itb

@@ -1,0 +1,70 @@
+#include "harness/runner.hpp"
+
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+
+namespace itb {
+
+RunResult run_point(Testbed& tb, RoutingScheme scheme,
+                    const DestinationPattern& pattern, const RunConfig& cfg) {
+  Simulator sim;
+  const RouteSet& routes = tb.routes(scheme);
+  Network net(sim, tb.topo(), routes, cfg.params, policy_of(scheme),
+              cfg.seed ^ 0x9e37u);
+  MetricsCollector metrics(tb.topo().num_switches());
+  metrics.attach(net);
+
+  TrafficConfig tcfg;
+  tcfg.load_flits_per_ns_per_switch = cfg.load_flits_per_ns_per_switch;
+  tcfg.payload_bytes = cfg.payload_bytes;
+  tcfg.poisson = cfg.poisson;
+  tcfg.seed = cfg.seed;
+  TrafficGenerator gen(sim, net, pattern, tcfg);
+  gen.start();
+
+  sim.run_until(cfg.warmup);
+  metrics.reset_window(sim.now());
+  net.reset_channel_stats();
+  const std::uint64_t gen_before = gen.messages_generated();
+  const std::uint64_t backlog_before = net.source_backlog_packets();
+
+  const TimePs window_end = cfg.warmup + cfg.measure;
+  sim.run_until(window_end);
+  const TimePs window = sim.now() - cfg.warmup;
+
+  RunResult r;
+  const double window_ns = to_ns(window);
+  const auto switches = static_cast<double>(tb.topo().num_switches());
+  const std::uint64_t gen_count = gen.messages_generated() - gen_before;
+  r.offered = static_cast<double>(gen_count) *
+              static_cast<double>(cfg.payload_bytes) / window_ns / switches;
+  r.accepted = metrics.accepted_flits_per_ns_per_switch(sim.now());
+  r.avg_latency_ns = metrics.avg_latency_ns();
+  r.avg_latency_gen_ns = metrics.avg_latency_from_generation_ns();
+  r.p50_latency_ns = metrics.p50_latency_ns();
+  r.p99_latency_ns = metrics.p99_latency_ns();
+  r.latency_ci95_ns = metrics.latency_ci95_ns();
+  r.avg_itbs = metrics.avg_itbs_per_message();
+  r.delivered = metrics.delivered();
+  r.spills = net.itb_spills();
+  r.fc_violations = net.flow_control_violations();
+  r.max_buffer_occupancy = net.max_buffer_occupancy();
+
+  const std::uint64_t backlog_after = net.source_backlog_packets();
+  const bool backlog_grew =
+      backlog_after > backlog_before &&
+      (backlog_after - backlog_before) * 10 > metrics.delivered();
+  r.saturated = (r.accepted < 0.95 * r.offered) || backlog_grew;
+
+  if (cfg.collect_link_util) {
+    r.link_util = measure_channel_utilization(net, window);
+  }
+  // The generator stops here; outstanding packets are abandoned with the
+  // simulator (single-run scope), which is fine for open-loop measurement.
+  gen.stop();
+  return r;
+}
+
+}  // namespace itb

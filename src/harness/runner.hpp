@@ -1,0 +1,51 @@
+// Single simulation point: build a network, warm it up, measure a window,
+// and return the paper's metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "harness/testbed.hpp"
+#include "metrics/link_util.hpp"
+#include "net/params.hpp"
+#include "traffic/patterns.hpp"
+
+namespace itb {
+
+struct RunConfig {
+  double load_flits_per_ns_per_switch = 0.01;
+  int payload_bytes = 512;
+  TimePs warmup = us(200);
+  TimePs measure = us(600);
+  std::uint64_t seed = 42;
+  MyrinetParams params;
+  bool poisson = false;
+  /// Also collect per-channel utilization over the measurement window.
+  bool collect_link_util = false;
+};
+
+struct RunResult {
+  double offered = 0.0;        // generated payload flits/ns/switch (window)
+  double accepted = 0.0;       // delivered payload flits/ns/switch (window)
+  double avg_latency_ns = 0.0; // injection -> delivery (paper definition)
+  double avg_latency_gen_ns = 0.0;  // generation -> delivery
+  double p50_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  /// ~95% batch-means confidence half-width on avg_latency_ns.
+  double latency_ci95_ns = 0.0;
+  double avg_itbs = 0.0;
+  std::uint64_t delivered = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t fc_violations = 0;
+  int max_buffer_occupancy = 0;
+  bool saturated = false;
+  std::vector<ChannelUtil> link_util;  // when collect_link_util
+};
+
+/// Run one (testbed, scheme, pattern, load) point.
+[[nodiscard]] RunResult run_point(Testbed& tb, RoutingScheme scheme,
+                                  const DestinationPattern& pattern,
+                                  const RunConfig& cfg);
+
+}  // namespace itb

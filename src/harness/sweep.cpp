@@ -1,0 +1,73 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itb {
+
+std::vector<SweepPoint> sweep_loads(Testbed& tb, RoutingScheme scheme,
+                                    const DestinationPattern& pattern,
+                                    RunConfig cfg,
+                                    const std::vector<double>& loads) {
+  std::vector<SweepPoint> out;
+  for (const double load : loads) {
+    cfg.load_flits_per_ns_per_switch = load;
+    out.push_back(SweepPoint{load, run_point(tb, scheme, pattern, cfg)});
+    if (out.back().result.saturated) break;
+  }
+  return out;
+}
+
+std::vector<double> geometric_loads(double lo, double hi, int points) {
+  std::vector<double> out;
+  if (points <= 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double ratio = std::pow(hi / lo, 1.0 / (points - 1));
+  double v = lo;
+  for (int i = 0; i < points; ++i) {
+    out.push_back(v);
+    v *= ratio;
+  }
+  return out;
+}
+
+std::vector<double> linear_loads(double lo, double hi, int points) {
+  std::vector<double> out;
+  if (points <= 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double step = (hi - lo) / (points - 1);
+  for (int i = 0; i < points; ++i) out.push_back(lo + step * i);
+  return out;
+}
+
+SaturationResult find_saturation(Testbed& tb, RoutingScheme scheme,
+                                 const DestinationPattern& pattern,
+                                 RunConfig cfg, double start_load,
+                                 double growth, int max_points) {
+  SaturationResult res;
+  double load = start_load;
+  for (int i = 0; i < max_points; ++i) {
+    cfg.load_flits_per_ns_per_switch = load;
+    RunResult r = run_point(tb, scheme, pattern, cfg);
+    res.trace.push_back(SweepPoint{load, r});
+    res.throughput = std::max(res.throughput, r.accepted);
+    if (r.saturated) {
+      res.saturating_load = load;
+      // Confirm the plateau with one clearly overloaded probe.
+      cfg.load_flits_per_ns_per_switch = load * 1.5;
+      RunResult over = run_point(tb, scheme, pattern, cfg);
+      res.trace.push_back(SweepPoint{load * 1.5, over});
+      res.throughput = std::max(res.throughput, over.accepted);
+      return res;
+    }
+    load *= growth;
+  }
+  res.saturating_load = load;
+  return res;
+}
+
+}  // namespace itb

@@ -1,0 +1,45 @@
+// Load sweeps (latency/throughput curves) and saturation-point search.
+#pragma once
+
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace itb {
+
+struct SweepPoint {
+  double load;
+  RunResult result;
+};
+
+/// Run `cfg` at each load in `loads`, stopping early once a point
+/// saturates (one saturated point is kept so curves show the knee).
+[[nodiscard]] std::vector<SweepPoint> sweep_loads(
+    Testbed& tb, RoutingScheme scheme, const DestinationPattern& pattern,
+    RunConfig cfg, const std::vector<double>& loads);
+
+/// Geometric load ladder from `lo` to `hi` with `points` entries.
+[[nodiscard]] std::vector<double> geometric_loads(double lo, double hi,
+                                                  int points);
+/// Linear load ladder.
+[[nodiscard]] std::vector<double> linear_loads(double lo, double hi,
+                                               int points);
+
+struct SaturationResult {
+  /// Saturation throughput: the highest accepted traffic observed
+  /// (flits/ns/switch) — the number the paper's tables report.
+  double throughput = 0.0;
+  /// Offered load at which saturation was first detected.
+  double saturating_load = 0.0;
+  std::vector<SweepPoint> trace;
+};
+
+/// Find the saturation throughput by walking a geometric ladder from
+/// `start_load` (factor `growth`) until a saturated point is seen, then
+/// probing one overloaded point to confirm the plateau.
+[[nodiscard]] SaturationResult find_saturation(
+    Testbed& tb, RoutingScheme scheme, const DestinationPattern& pattern,
+    RunConfig cfg, double start_load, double growth = 1.25,
+    int max_points = 24);
+
+}  // namespace itb

@@ -1,0 +1,47 @@
+#include "harness/testbed.hpp"
+
+#include "core/route_builder.hpp"
+
+namespace itb {
+
+const char* to_string(RoutingScheme s) {
+  switch (s) {
+    case RoutingScheme::kUpDown: return "UP/DOWN";
+    case RoutingScheme::kItbSp: return "ITB-SP";
+    case RoutingScheme::kItbRr: return "ITB-RR";
+    case RoutingScheme::kItbRnd: return "ITB-RND";
+    case RoutingScheme::kItbAdapt: return "ITB-ADAPT";
+  }
+  return "?";
+}
+
+PathPolicy policy_of(RoutingScheme s) {
+  switch (s) {
+    case RoutingScheme::kUpDown:
+    case RoutingScheme::kItbSp: return PathPolicy::kSingle;
+    case RoutingScheme::kItbRr: return PathPolicy::kRoundRobin;
+    case RoutingScheme::kItbRnd: return PathPolicy::kRandom;
+    case RoutingScheme::kItbAdapt: return PathPolicy::kAdaptive;
+  }
+  return PathPolicy::kSingle;
+}
+
+Testbed::Testbed(Topology topo, SwitchId root)
+    : topo_(std::make_unique<Topology>(std::move(topo))),
+      updown_(std::make_unique<UpDown>(*topo_, root)) {}
+
+const RouteSet& Testbed::routes(RoutingScheme s) {
+  if (s == RoutingScheme::kUpDown) {
+    if (!updown_routes_) {
+      const SimpleRoutes sr(*topo_, *updown_);
+      updown_routes_.emplace(build_updown_routes(*topo_, sr));
+    }
+    return *updown_routes_;
+  }
+  if (!itb_routes_) {
+    itb_routes_.emplace(build_itb_routes(*topo_, *updown_));
+  }
+  return *itb_routes_;
+}
+
+}  // namespace itb

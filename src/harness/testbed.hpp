@@ -1,0 +1,50 @@
+// Ready-to-simulate bundle: a topology plus its up*/down* orientation and
+// lazily built routing tables for every scheme the paper compares.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/path_policy.hpp"
+#include "core/route_set.hpp"
+#include "route/simple_routes.hpp"
+#include "route/updown.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+/// The routing schemes of the evaluation (§4.7) plus the future-work
+/// extensions.
+enum class RoutingScheme {
+  kUpDown,    // "UP/DOWN": simple_routes-selected up*/down*, single path
+  kItbSp,     // "ITB-SP": minimal paths + in-transit buffers, single path
+  kItbRr,     // "ITB-RR": same table, round-robin over alternatives
+  kItbRnd,    // extension: random alternative per packet
+  kItbAdapt,  // extension: latency-feedback adaptive selection
+};
+
+[[nodiscard]] const char* to_string(RoutingScheme s);
+[[nodiscard]] PathPolicy policy_of(RoutingScheme s);
+
+class Testbed {
+ public:
+  /// Takes ownership of the topology; `root` is the up*/down* root switch
+  /// (the paper's torus uses the top-left switch, id 0).
+  explicit Testbed(Topology topo, SwitchId root = 0);
+
+  [[nodiscard]] const Topology& topo() const { return *topo_; }
+  [[nodiscard]] const UpDown& updown() const { return *updown_; }
+
+  /// Routing table for a scheme (built on first use, then cached).  All ITB
+  /// schemes share one table and differ only in path policy.
+  [[nodiscard]] const RouteSet& routes(RoutingScheme s);
+
+ private:
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<UpDown> updown_;
+  std::optional<RouteSet> updown_routes_;
+  std::optional<RouteSet> itb_routes_;
+};
+
+}  // namespace itb

@@ -1,0 +1,185 @@
+#include "mapper/mapper.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace itb {
+
+namespace {
+
+std::string cable_key(std::uint64_t sig_a, PortId pa, std::uint64_t sig_b,
+                      PortId pb) {
+  // Canonical ordering so both discovery directions agree.
+  if (sig_b < sig_a || (sig_a == sig_b && pb < pa)) {
+    std::swap(sig_a, sig_b);
+    std::swap(pa, pb);
+  }
+  return std::to_string(sig_a) + ":" + std::to_string(pa) + "-" +
+         std::to_string(sig_b) + ":" + std::to_string(pb);
+}
+
+std::string host_cable_key(std::uint64_t sw_sig, PortId port,
+                           std::uint64_t host_sig) {
+  return std::to_string(sw_sig) + ":" + std::to_string(port) + "-h" +
+         std::to_string(host_sig);
+}
+
+}  // namespace
+
+std::optional<SwitchId> NetworkMap::switch_by_signature(
+    std::uint64_t sig) const {
+  for (std::size_t i = 0; i < switch_sig.size(); ++i) {
+    if (switch_sig[i] == sig) return static_cast<SwitchId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<HostId> NetworkMap::host_by_signature(std::uint64_t sig) const {
+  for (std::size_t i = 0; i < host_sig.size(); ++i) {
+    if (host_sig[i] == sig) return static_cast<HostId>(i);
+  }
+  return std::nullopt;
+}
+
+NetworkMap map_network(const ProbeInterface& probe,
+                       std::uint64_t origin_signature) {
+  const std::uint64_t probes_before = probe.probes_sent();
+
+  // Discover the local switch.
+  const ProbeResult local = probe.probe({});
+  if (local.target != ProbeTarget::kSwitch) {
+    throw std::runtime_error("map_network: local switch unreachable");
+  }
+  const int ports = local.num_ports;
+
+  struct DiscoveredSwitch {
+    std::uint64_t sig;
+    std::vector<PortId> route;  // from the origin's switch
+  };
+  struct DiscoveredCable {
+    SwitchId a;
+    PortId pa;
+    SwitchId b;
+    PortId pb;
+  };
+  struct DiscoveredHost {
+    std::uint64_t sig;
+    SwitchId sw;
+    PortId port;
+  };
+
+  std::vector<DiscoveredSwitch> switches;
+  std::map<std::uint64_t, SwitchId> by_sig;
+  std::vector<DiscoveredCable> cables;
+  std::set<std::string> cable_seen;
+  std::vector<DiscoveredHost> hosts;
+  std::set<std::uint64_t> host_seen;
+
+  switches.push_back(DiscoveredSwitch{local.signature, {}});
+  by_sig[local.signature] = 0;
+
+  std::deque<SwitchId> frontier{0};
+  while (!frontier.empty()) {
+    const SwitchId s = frontier.front();
+    frontier.pop_front();
+    // Copy: `switches` may reallocate while we scan.
+    const DiscoveredSwitch here = switches[static_cast<std::size_t>(s)];
+    for (PortId p = 0; p < ports; ++p) {
+      std::vector<PortId> route = here.route;
+      route.push_back(p);
+      const ProbeResult r = probe.probe(route);
+      switch (r.target) {
+        case ProbeTarget::kNothing:
+          break;
+        case ProbeTarget::kHost: {
+          if (host_seen.insert(r.signature).second) {
+            hosts.push_back(DiscoveredHost{r.signature, s, p});
+          }
+          break;
+        }
+        case ProbeTarget::kSwitch: {
+          SwitchId t;
+          const auto it = by_sig.find(r.signature);
+          if (it == by_sig.end()) {
+            t = static_cast<SwitchId>(switches.size());
+            by_sig.emplace(r.signature, t);
+            switches.push_back(DiscoveredSwitch{r.signature, route});
+            frontier.push_back(t);
+          } else {
+            t = it->second;
+          }
+          const std::string key = cable_key(here.sig, p, r.signature,
+                                            r.entry_port);
+          if (cable_seen.insert(key).second) {
+            cables.push_back(DiscoveredCable{s, p, t, r.entry_port});
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Materialise the discovered network.
+  Topology topo(static_cast<int>(switches.size()), ports, "discovered");
+  for (const DiscoveredCable& c : cables) {
+    topo.connect(c.a, c.pa, c.b, c.pb);
+  }
+  NetworkMap map{std::move(topo), {}, {}, kNoHost, 0};
+  for (const DiscoveredSwitch& s : switches) map.switch_sig.push_back(s.sig);
+  for (const DiscoveredHost& h : hosts) {
+    const HostId id = map.topo.attach_host(h.sw, h.port);
+    map.host_sig.push_back(h.sig);
+    if (h.sig == origin_signature) map.origin = id;
+  }
+  map.probes_used = probe.probes_sent() - probes_before;
+  return map;
+}
+
+MapDiff diff_maps(const NetworkMap& before, const NetworkMap& after) {
+  MapDiff d;
+  auto set_difference_u64 = [](const std::vector<std::uint64_t>& a,
+                               const std::vector<std::uint64_t>& b) {
+    std::vector<std::uint64_t> sa = a, sb = b, out;
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(out));
+    return out;
+  };
+  d.switches_added = set_difference_u64(after.switch_sig, before.switch_sig);
+  d.switches_removed = set_difference_u64(before.switch_sig, after.switch_sig);
+  d.hosts_added = set_difference_u64(after.host_sig, before.host_sig);
+  d.hosts_removed = set_difference_u64(before.host_sig, after.host_sig);
+
+  auto cable_keys = [](const NetworkMap& m) {
+    std::vector<std::string> keys;
+    for (CableId c = 0; c < m.topo.num_cables(); ++c) {
+      const Cable& cb = m.topo.cable(c);
+      if (cb.to_host()) {
+        keys.push_back(host_cable_key(
+            m.switch_sig[static_cast<std::size_t>(cb.a.sw)], cb.a.port,
+            m.host_sig[static_cast<std::size_t>(cb.host)]));
+      } else {
+        keys.push_back(
+            cable_key(m.switch_sig[static_cast<std::size_t>(cb.a.sw)],
+                      cb.a.port,
+                      m.switch_sig[static_cast<std::size_t>(cb.b.sw)],
+                      cb.b.port));
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  const auto kb = cable_keys(before);
+  const auto ka = cable_keys(after);
+  std::set_difference(ka.begin(), ka.end(), kb.begin(), kb.end(),
+                      std::back_inserter(d.cables_added));
+  std::set_difference(kb.begin(), kb.end(), ka.begin(), ka.end(),
+                      std::back_inserter(d.cables_removed));
+  return d;
+}
+
+}  // namespace itb

@@ -1,0 +1,69 @@
+// Automatic topology discovery (the Myrinet "mapper").
+//
+// Starting from the mapping host's own switch, the mapper breadth-first
+// scans every port of every reachable switch with probe packets,
+// de-duplicates switches by their opaque signatures, and reconstructs a
+// Topology object isomorphic to the physical network.  Switch and host
+// numbering is discovery order, so the result is stable for a given
+// network and origin.  Re-running the mapper after cable failures and
+// diffing the maps is how the control plane notices topology changes and
+// triggers route recomputation (paper §2: NICs "check for changes in the
+// network topology ... in order to maintain the routing tables").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapper/probe.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+/// A discovered network: a freshly numbered Topology plus the signature
+/// of every discovered switch and host (index = discovered id).
+struct NetworkMap {
+  Topology topo;
+  std::vector<std::uint64_t> switch_sig;
+  std::vector<std::uint64_t> host_sig;
+  /// The mapping host's id within the discovered numbering.
+  HostId origin = kNoHost;
+  /// Probes consumed by this discovery (control-plane cost).
+  std::uint64_t probes_used = 0;
+
+  [[nodiscard]] std::optional<SwitchId> switch_by_signature(
+      std::uint64_t sig) const;
+  [[nodiscard]] std::optional<HostId> host_by_signature(
+      std::uint64_t sig) const;
+};
+
+/// Explore the network visible through `probe`, starting at the mapping
+/// host.  `origin_signature` is the mapping host's own signature (a NIC
+/// knows its address).  Throws std::runtime_error if even the local
+/// switch is unreachable (dead access cable).
+[[nodiscard]] NetworkMap map_network(const ProbeInterface& probe,
+                                     std::uint64_t origin_signature);
+
+/// Differences between two maps, in terms of device signatures (stable
+/// across renumbering).
+struct MapDiff {
+  std::vector<std::uint64_t> switches_added;
+  std::vector<std::uint64_t> switches_removed;
+  std::vector<std::uint64_t> hosts_added;
+  std::vector<std::uint64_t> hosts_removed;
+  /// Cables keyed by a canonical endpoint string (see cable_key).
+  std::vector<std::string> cables_added;
+  std::vector<std::string> cables_removed;
+
+  [[nodiscard]] bool empty() const {
+    return switches_added.empty() && switches_removed.empty() &&
+           hosts_added.empty() && hosts_removed.empty() &&
+           cables_added.empty() && cables_removed.empty();
+  }
+};
+
+[[nodiscard]] MapDiff diff_maps(const NetworkMap& before,
+                                const NetworkMap& after);
+
+}  // namespace itb

@@ -1,0 +1,64 @@
+#include "mapper/probe.hpp"
+
+namespace itb {
+
+namespace {
+std::uint64_t mix(std::uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ULL;
+  v ^= v >> 33;
+  return v;
+}
+}  // namespace
+
+TopologyProber::TopologyProber(const Topology& topo, HostId origin,
+                               std::uint64_t signature_seed)
+    : topo_(&topo), origin_(origin), seed_(signature_seed),
+      failed_(static_cast<std::size_t>(topo.num_cables()), false) {}
+
+std::uint64_t TopologyProber::switch_signature(SwitchId s) const {
+  return mix(seed_ ^ (0x5157ULL << 32) ^ static_cast<std::uint64_t>(s));
+}
+
+std::uint64_t TopologyProber::host_signature(HostId h) const {
+  return mix(seed_ ^ (0x4057ULL << 32) ^ static_cast<std::uint64_t>(h));
+}
+
+ProbeResult TopologyProber::probe(const std::vector<PortId>& route) const {
+  ++probes_;
+  // The probe first crosses the origin host's access cable.
+  const HostAttachment& at = topo_->host(origin_);
+  if (failed_[static_cast<std::size_t>(at.cable)]) return {};
+  SwitchId at_switch = at.sw;
+  PortId entered_through = at.port;
+
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    const PortId port = route[i];
+    if (port < 0 || port >= topo_->ports_per_switch()) return {};
+    const PortPeer& peer = topo_->peer(at_switch, port);
+    if (peer.kind == PeerKind::kNone) return {};
+    if (failed_[static_cast<std::size_t>(peer.cable)]) return {};
+    if (peer.kind == PeerKind::kHost) {
+      // A probe terminating at a NIC mid-route is consumed there; only a
+      // probe whose *last* hop lands on the host reports it.
+      if (i + 1 != route.size()) return {};
+      ProbeResult r;
+      r.target = ProbeTarget::kHost;
+      r.signature = host_signature(peer.host);
+      return r;
+    }
+    at_switch = peer.sw;
+    entered_through = peer.port;
+  }
+
+  ProbeResult r;
+  r.target = ProbeTarget::kSwitch;
+  r.signature = switch_signature(at_switch);
+  r.num_ports = topo_->ports_per_switch();
+  r.entry_port = entered_through;
+  return r;
+}
+
+}  // namespace itb

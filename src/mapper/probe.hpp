@@ -1,0 +1,84 @@
+// Probe abstraction for topology discovery.
+//
+// Myrinet NICs map the network by sending probe packets along explicit
+// source routes and examining what answers: a switch (which reports an
+// opaque unique identifier and its port count), a host NIC (which reports
+// its address), or nothing (unplugged port, dead cable).  The mapper
+// (§2 of the paper: the MCP "performs the network configuration
+// automatically" and "checks for changes in the network topology") only
+// sees the network through this interface, which keeps it honest: it can
+// never peek at global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "topo/types.hpp"
+
+namespace itb {
+
+/// What a probe found at the end of its route.
+enum class ProbeTarget : std::uint8_t {
+  kNothing,  // unplugged port / failed cable
+  kSwitch,
+  kHost,
+};
+
+struct ProbeResult {
+  ProbeTarget target = ProbeTarget::kNothing;
+  /// Opaque, stable, unique id of the device (think MAC address).  Only
+  /// meaningful for kSwitch / kHost.
+  std::uint64_t signature = 0;
+  /// Port count of the switch (kSwitch only).
+  int num_ports = 0;
+  /// The switch port the probe *entered* through (kSwitch only) — Myrinet
+  /// switches report the input port so the mapper learns both endpoints
+  /// of a cable from one probe.
+  PortId entry_port = kNoPort;
+};
+
+/// Interface the mapper drives.  `probe(route)` sends a probe from the
+/// mapping host's switch along `route` (a list of output ports consumed
+/// one per switch, exactly like a data header) and reports what sits
+/// after the last hop.  An empty route inspects the mapping host's own
+/// switch.  Returns kNothing if any hop crosses a dead cable or names an
+/// unplugged port.
+class ProbeInterface {
+ public:
+  virtual ~ProbeInterface() = default;
+  [[nodiscard]] virtual ProbeResult probe(
+      const std::vector<PortId>& route) const = 0;
+  /// Number of probes issued so far (cost metric; the real MCP cares).
+  [[nodiscard]] virtual std::uint64_t probes_sent() const = 0;
+};
+
+/// Probe implementation over a concrete Topology, with optional failure
+/// injection: cables present in `failed` behave as unplugged.
+class TopologyProber final : public ProbeInterface {
+ public:
+  /// `origin` is the mapping host.  Signatures are derived from a seed so
+  /// two different networks produce disjoint signature spaces.
+  TopologyProber(const Topology& topo, HostId origin,
+                 std::uint64_t signature_seed = 0x51bd1ab);
+
+  [[nodiscard]] ProbeResult probe(
+      const std::vector<PortId>& route) const override;
+  [[nodiscard]] std::uint64_t probes_sent() const override { return probes_; }
+
+  /// Failure injection: mark/unmark a cable as dead.
+  void fail_cable(CableId c) { failed_[static_cast<std::size_t>(c)] = true; }
+  void restore_cable(CableId c) { failed_[static_cast<std::size_t>(c)] = false; }
+
+  [[nodiscard]] std::uint64_t switch_signature(SwitchId s) const;
+  [[nodiscard]] std::uint64_t host_signature(HostId h) const;
+
+ private:
+  const Topology* topo_;
+  HostId origin_;
+  std::uint64_t seed_;
+  std::vector<bool> failed_;
+  mutable std::uint64_t probes_ = 0;
+};
+
+}  // namespace itb

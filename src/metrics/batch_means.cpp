@@ -1,0 +1,43 @@
+#include "metrics/batch_means.hpp"
+
+#include <cmath>
+
+namespace itb {
+
+double BatchMeans::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<double> BatchMeans::batch_means() const {
+  std::vector<double> out;
+  const std::size_t n = samples_.size();
+  if (n < 4) return out;
+  std::size_t batches = target_batches_;
+  if (batches < 2) batches = 2;
+  if (n / batches < 2) batches = n / 2;
+  const std::size_t per = n / batches;  // trailing remainder is dropped
+  out.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = b * per; i < (b + 1) * per; ++i) sum += samples_[i];
+    out.push_back(sum / static_cast<double>(per));
+  }
+  return out;
+}
+
+double BatchMeans::ci95_halfwidth() const {
+  const auto means = batch_means();
+  if (means.size() < 2) return 0.0;
+  double m = 0.0;
+  for (const double v : means) m += v;
+  m /= static_cast<double>(means.size());
+  double var = 0.0;
+  for (const double v : means) var += (v - m) * (v - m);
+  var /= static_cast<double>(means.size() - 1);
+  return 1.96 * std::sqrt(var / static_cast<double>(means.size()));
+}
+
+}  // namespace itb

@@ -1,0 +1,43 @@
+// Batch-means confidence intervals.
+//
+// Latency samples from a single simulation are autocorrelated (consecutive
+// packets share queues), so the naive s/sqrt(n) interval is far too
+// optimistic.  The standard remedy groups the ordered sample stream into a
+// moderate number of contiguous batches and treats the batch means as
+// (approximately) independent observations.  This estimator backs the
+// latency_ci95 field the harness reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace itb {
+
+class BatchMeans {
+ public:
+  /// `target_batches` contiguous batches are formed at query time (fewer
+  /// when there are not enough samples; at least 2 samples per batch).
+  explicit BatchMeans(std::size_t target_batches = 20)
+      : target_batches_(target_batches) {}
+
+  void add(double x) { samples_.push_back(x); }
+  void reset() { samples_.clear(); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+
+  /// Half-width of the ~95% confidence interval on the mean, from the
+  /// batch-means standard error (z = 1.96; batch counts are large enough
+  /// that the normal approximation is fine for reporting purposes).
+  /// Returns 0 when fewer than 4 samples exist.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+  /// The batch means themselves (for tests/diagnostics).
+  [[nodiscard]] std::vector<double> batch_means() const;
+
+ private:
+  std::size_t target_batches_;
+  std::vector<double> samples_;
+};
+
+}  // namespace itb

@@ -1,0 +1,52 @@
+#include "metrics/collector.hpp"
+
+namespace itb {
+
+namespace {
+// 100 ns buckets up to 1 ms cover every latency this study produces; the
+// overflow bucket catches pathological stragglers.
+constexpr double kBucketNs = 100.0;
+constexpr std::size_t kBuckets = 10000;
+}  // namespace
+
+MetricsCollector::MetricsCollector(int num_switches)
+    : num_switches_(num_switches), hist_(kBucketNs, kBuckets) {}
+
+void MetricsCollector::attach(Network& net) {
+  net.set_delivery_callback(
+      [this](const DeliveryRecord& rec) { on_delivery(rec); });
+}
+
+void MetricsCollector::reset_window(TimePs now) {
+  window_start_ = now;
+  delivered_ = 0;
+  flits_ = 0;
+  itbs_ = 0;
+  spills_ = 0;
+  net_latency_.reset();
+  total_latency_.reset();
+  hist_ = Histogram(kBucketNs, kBuckets);
+  batches_.reset();
+}
+
+void MetricsCollector::on_delivery(const DeliveryRecord& rec) {
+  ++delivered_;
+  flits_ += static_cast<std::uint64_t>(rec.payload_flits);
+  itbs_ += static_cast<std::uint64_t>(rec.itbs_used);
+  if (rec.spilled) ++spills_;
+  const double net_ns = to_ns(rec.deliver_time - rec.inject_time);
+  const double tot_ns = to_ns(rec.deliver_time - rec.gen_time);
+  net_latency_.add(net_ns);
+  total_latency_.add(tot_ns);
+  hist_.add(net_ns);
+  batches_.add(net_ns);
+}
+
+double MetricsCollector::accepted_flits_per_ns_per_switch(TimePs now) const {
+  const TimePs span = now - window_start_;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(flits_) / to_ns(span) /
+         static_cast<double>(num_switches_);
+}
+
+}  // namespace itb

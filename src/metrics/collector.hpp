@@ -1,0 +1,84 @@
+// Measurement-window metric collection.
+//
+// Latency follows the paper's definition (footnote 4): time from injection
+// of a message into the network at the source host until delivery at the
+// destination host.  Time spent queued in the source NIC before the first
+// flit enters the link is recorded separately (latency_from_generation),
+// because past saturation it grows without bound while network latency
+// stays finite.
+// Accepted traffic follows footnote 5: information (payload flits)
+// delivered per nanosecond, normalised per switch.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/batch_means.hpp"
+#include "net/network.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace itb {
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(int num_switches);
+
+  /// Install this collector as the network's delivery callback.
+  void attach(Network& net);
+
+  /// Begin a measurement window at `now`, discarding everything recorded
+  /// so far (used after warm-up).
+  void reset_window(TimePs now);
+
+  // --- queries (valid any time; rates need `now`) ---
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t delivered_flits() const { return flits_; }
+
+  /// Average latency in ns, network part only (injection -> delivery).
+  [[nodiscard]] double avg_latency_ns() const { return net_latency_.mean(); }
+  /// Average latency in ns including source-queue time (generation ->
+  /// delivery).
+  [[nodiscard]] double avg_latency_from_generation_ns() const {
+    return total_latency_.mean();
+  }
+  [[nodiscard]] const RunningStats& net_latency() const { return net_latency_; }
+  [[nodiscard]] const RunningStats& total_latency() const {
+    return total_latency_;
+  }
+  [[nodiscard]] double p50_latency_ns() const { return hist_.count() ? hist_.quantile(0.50) : 0.0; }
+  [[nodiscard]] double p99_latency_ns() const { return hist_.count() ? hist_.quantile(0.99) : 0.0; }
+
+  /// ~95% confidence half-width on the mean network latency, via batch
+  /// means (autocorrelation-aware; see metrics/batch_means.hpp).
+  [[nodiscard]] double latency_ci95_ns() const {
+    return batches_.ci95_halfwidth();
+  }
+
+  /// Accepted traffic in flits/ns/switch over the current window.
+  [[nodiscard]] double accepted_flits_per_ns_per_switch(TimePs now) const;
+
+  /// Average in-transit buffers used per delivered message (paper §4.7.1:
+  /// 0.43 for ITB-SP, 0.54 for ITB-RR on the uniform 8x8 torus).
+  [[nodiscard]] double avg_itbs_per_message() const {
+    return delivered_ ? static_cast<double>(itbs_) /
+                            static_cast<double>(delivered_)
+                      : 0.0;
+  }
+  [[nodiscard]] std::uint64_t spilled_deliveries() const { return spills_; }
+
+ private:
+  void on_delivery(const DeliveryRecord& rec);
+
+  int num_switches_;
+  TimePs window_start_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t flits_ = 0;
+  std::uint64_t itbs_ = 0;
+  std::uint64_t spills_ = 0;
+  RunningStats net_latency_;    // ns
+  RunningStats total_latency_;  // ns
+  Histogram hist_;              // ns buckets over network latency
+  BatchMeans batches_;          // over network latency, delivery order
+};
+
+}  // namespace itb

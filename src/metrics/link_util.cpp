@@ -1,0 +1,139 @@
+#include "metrics/link_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace itb {
+
+namespace {
+std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+std::vector<ChannelUtil> measure_channel_utilization(const Network& net,
+                                                     TimePs window,
+                                                     bool include_host_links) {
+  std::vector<ChannelUtil> out;
+  const Topology& topo = net.topology();
+  if (window <= 0) return out;
+  for (CableId c = 0; c < topo.num_cables(); ++c) {
+    const Cable& cb = topo.cable(c);
+    if (cb.to_host() && !include_host_links) continue;
+    for (const bool from_a : {true, false}) {
+      const ChannelId ch = topo.channel_from(c, from_a);
+      ChannelUtil u;
+      u.channel = ch;
+      u.cable = c;
+      u.to_host = cb.to_host();
+      if (cb.to_host()) {
+        u.from_sw = from_a ? cb.a.sw : kNoSwitch;
+        u.to_sw = from_a ? kNoSwitch : cb.a.sw;
+      } else {
+        u.from_sw = from_a ? cb.a.sw : cb.b.sw;
+        u.to_sw = from_a ? cb.b.sw : cb.a.sw;
+      }
+      u.utilization = static_cast<double>(net.channel_busy_time(ch)) /
+                      static_cast<double>(window);
+      u.stopped_fraction = static_cast<double>(net.channel_stopped_time(ch)) /
+                           static_cast<double>(window);
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+LinkUtilSummary summarize_link_utilization(const std::vector<ChannelUtil>& utils,
+                                           const Topology& topo,
+                                           SwitchId root) {
+  LinkUtilSummary s;
+  if (utils.empty()) return s;
+  // "Near the root": channels with an endpoint at the root or one of its
+  // switch neighbours.
+  std::vector<bool> near_root(idx(topo.num_switches()), false);
+  near_root[idx(root)] = true;
+  for (const SwitchId n : topo.switch_neighbors(root)) near_root[idx(n)] = true;
+
+  double sum = 0.0;
+  s.min_utilization = 1.0;
+  std::size_t below10 = 0, stopped10 = 0, fabric = 0;
+  for (const ChannelUtil& u : utils) {
+    sum += u.utilization;
+    s.max_utilization = std::max(s.max_utilization, u.utilization);
+    s.min_utilization = std::min(s.min_utilization, u.utilization);
+    if (!u.to_host) {
+      ++fabric;
+      if (u.utilization < 0.10) ++below10;
+      if (u.stopped_fraction > 0.10) ++stopped10;
+      const bool near = (u.from_sw != kNoSwitch && near_root[idx(u.from_sw)]) ||
+                        (u.to_sw != kNoSwitch && near_root[idx(u.to_sw)]);
+      if (near) {
+        s.max_near_root = std::max(s.max_near_root, u.utilization);
+      } else {
+        s.max_far_from_root = std::max(s.max_far_from_root, u.utilization);
+      }
+    }
+  }
+  s.avg_utilization = sum / static_cast<double>(utils.size());
+  if (fabric > 0) {
+    s.fraction_below_10pct =
+        static_cast<double>(below10) / static_cast<double>(fabric);
+    s.fraction_stopped_over_10pct =
+        static_cast<double>(stopped10) / static_cast<double>(fabric);
+  }
+  return s;
+}
+
+std::string render_grid_utilization(const std::vector<ChannelUtil>& utils,
+                                    const Topology& topo) {
+  // Aggregate per (switch, direction): keep the larger of the two channel
+  // directions of the first cable found toward the +x / +y neighbour.
+  int max_x = 0, max_y = 0;
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    max_x = std::max(max_x, topo.pos(s).x);
+    max_y = std::max(max_y, topo.pos(s).y);
+  }
+  std::map<std::pair<SwitchId, SwitchId>, double> pair_util;
+  for (const ChannelUtil& u : utils) {
+    if (u.to_host || u.from_sw == kNoSwitch || u.to_sw == kNoSwitch) continue;
+    auto key = std::make_pair(u.from_sw, u.to_sw);
+    auto [it, inserted] = pair_util.try_emplace(key, u.utilization);
+    if (!inserted) it->second = std::max(it->second, u.utilization);
+  }
+  auto find_by_pos = [&](int x, int y) -> SwitchId {
+    for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+      if (topo.pos(s).x == x && topo.pos(s).y == y) return s;
+    }
+    return kNoSwitch;
+  };
+  std::string out;
+  char buf[64];
+  for (int y = 0; y <= max_y; ++y) {
+    std::string row1, row2;
+    for (int x = 0; x <= max_x; ++x) {
+      const SwitchId s = find_by_pos(x, y);
+      if (s == kNoSwitch) {
+        row1 += "        ";
+        row2 += "        ";
+        continue;
+      }
+      const SwitchId east = find_by_pos((x + 1) % (max_x + 1), y);
+      const SwitchId south = find_by_pos(x, (y + 1) % (max_y + 1));
+      const auto it_e = east == kNoSwitch
+                            ? pair_util.end()
+                            : pair_util.find(std::make_pair(s, east));
+      const auto it_s = south == kNoSwitch
+                            ? pair_util.end()
+                            : pair_util.find(std::make_pair(s, south));
+      std::snprintf(buf, sizeof buf, "%02d>%3.0f%% ", s,
+                    it_e == pair_util.end() ? 0.0 : it_e->second * 100.0);
+      row1 += buf;
+      std::snprintf(buf, sizeof buf, "  v%3.0f%% ",
+                    it_s == pair_util.end() ? 0.0 : it_s->second * 100.0);
+      row2 += buf;
+    }
+    out += row1 + "\n" + row2 + "\n";
+  }
+  return out;
+}
+
+}  // namespace itb

@@ -1,0 +1,58 @@
+// Per-link utilization measurement and the summary statistics the paper
+// reads off its utilization maps (Figures 8, 9 and 11).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "route/updown.hpp"
+#include "sim/time.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+struct ChannelUtil {
+  ChannelId channel;
+  CableId cable;
+  bool to_host;
+  SwitchId from_sw;  // kNoSwitch when the sender is a host
+  SwitchId to_sw;    // kNoSwitch when the receiver is a host
+  double utilization;        // busy fraction of the window
+  double stopped_fraction;   // fraction of the window stopped with data
+};
+
+struct LinkUtilSummary {
+  double max_utilization = 0.0;
+  double min_utilization = 0.0;
+  double avg_utilization = 0.0;
+  /// Fraction of switch-to-switch channels under 10% utilization (paper:
+  /// 65% for UP/DOWN at its saturation point on the torus).
+  double fraction_below_10pct = 0.0;
+  /// Highest utilization among channels touching the root switch or its
+  /// direct neighbours ("links near the root switch": ~50% for UP/DOWN).
+  double max_near_root = 0.0;
+  /// Highest utilization among the remaining channels.
+  double max_far_from_root = 0.0;
+  /// Fraction of channels stopped by flow control more than 10% of the
+  /// time (paper: 20% of links at ITB-RR saturation).
+  double fraction_stopped_over_10pct = 0.0;
+};
+
+/// Utilization of every switch-to-switch channel over [window_start, now]
+/// (host channels excluded unless `include_host_links`).
+[[nodiscard]] std::vector<ChannelUtil> measure_channel_utilization(
+    const Network& net, TimePs window, bool include_host_links = false);
+
+[[nodiscard]] LinkUtilSummary summarize_link_utilization(
+    const std::vector<ChannelUtil>& utils, const Topology& topo,
+    SwitchId root);
+
+/// ASCII rendering of a 2-D grid topology's link utilization: one cell per
+/// switch (by its position) showing the utilization of its +x and +y
+/// outgoing channels in percent — a textual stand-in for the paper's
+/// shaded map figures.
+[[nodiscard]] std::string render_grid_utilization(
+    const std::vector<ChannelUtil>& utils, const Topology& topo);
+
+}  // namespace itb

@@ -1,0 +1,552 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <stdexcept>
+
+namespace itb {
+
+namespace {
+std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+const char* to_string(PacketEvent e) {
+  switch (e) {
+    case PacketEvent::kInjected: return "injected";
+    case PacketEvent::kHeaderAtSwitch: return "header";
+    case PacketEvent::kEjectedAtItb: return "ejected";
+    case PacketEvent::kReinjectionReady: return "ready";
+    case PacketEvent::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+Network::Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
+                 const MyrinetParams& params, PathPolicy policy,
+                 std::uint64_t seed)
+    : sim_(&sim), topo_(&topo), routes_(&routes), params_(params) {
+  if (params_.chunk_flits < 1 || params_.chunk_flits > 8) {
+    throw std::invalid_argument(
+        "Network: chunk_flits must be in [1, 8]; larger chunks could "
+        "overflow the slack buffer before a stop takes effect");
+  }
+  if (routes.num_switches() != topo.num_switches()) {
+    throw std::invalid_argument("Network: route set/topology mismatch");
+  }
+
+  // --- wire up channels ---
+  channels_.resize(idx(topo.num_channels()));
+  out_channel_at_.assign(idx(topo.num_switches()),
+                         std::vector<ChannelId>(
+                             idx(topo.ports_per_switch()), ChannelId{-1}));
+  for (CableId c = 0; c < topo.num_cables(); ++c) {
+    const Cable& cb = topo.cable(c);
+    const TimePs prop = params_.cable_prop_delay(cb.length_m);
+
+    Channel& fwd = chan(topo.channel_from(c, true));  // A side -> B side
+    fwd.prop_delay = prop;
+    fwd.from_switch = true;
+    fwd.src_sw = cb.a.sw;
+    fwd.src_port = cb.a.port;
+    out_channel_at_[idx(cb.a.sw)][idx(cb.a.port)] = topo.channel_from(c, true);
+    Channel& rev = chan(topo.channel_from(c, false));  // B side -> A side
+    rev.prop_delay = prop;
+    rev.into_switch = true;
+    rev.dst_sw = cb.a.sw;
+    rev.dst_port = cb.a.port;
+
+    if (cb.to_host()) {
+      fwd.into_switch = false;
+      fwd.dst_host = cb.host;
+      rev.from_switch = false;
+      rev.src_host = cb.host;
+    } else {
+      fwd.into_switch = true;
+      fwd.dst_sw = cb.b.sw;
+      fwd.dst_port = cb.b.port;
+      rev.from_switch = true;
+      rev.src_sw = cb.b.sw;
+      rev.src_port = cb.b.port;
+      out_channel_at_[idx(cb.b.sw)][idx(cb.b.port)] =
+          topo.channel_from(c, false);
+    }
+  }
+
+  // --- NICs ---
+  Rng seeder(seed);
+  nics_.resize(idx(topo.num_hosts()));
+  for (HostId h = 0; h < topo.num_hosts(); ++h) {
+    Nic& n = nic(h);
+    n.id = h;
+    const HostAttachment& at = topo.host(h);
+    n.sw = at.sw;
+    n.to_switch = topo.channel_from(at.cable, false);   // host is the B side
+    n.from_switch = topo.channel_from(at.cable, true);
+    n.selector = std::make_unique<PathSelector>(
+        policy, topo.num_switches(),
+        seeder.next_u64() ^ static_cast<std::uint64_t>(h));
+  }
+}
+
+Packet* Network::alloc_packet() {
+  if (!packet_free_.empty()) {
+    Packet* p = packet_free_.back();
+    packet_free_.pop_back();
+    *p = Packet{};
+    return p;
+  }
+  packet_storage_.emplace_back();
+  return &packet_storage_.back();
+}
+
+void Network::free_packet(Packet* p) { packet_free_.push_back(p); }
+
+void Network::emit_event(const Packet* p, PacketEvent ev, SwitchId sw,
+                         HostId host) {
+  if (!event_sink_) return;
+  event_sink_(PacketEventRecord{sim_->now(), p->id, ev, sw, host});
+}
+
+void Network::inject(HostId src, HostId dst, int payload_bytes) {
+  assert(src != dst);
+  assert(payload_bytes > 0);
+  Packet* p = alloc_packet();
+  p->id = next_packet_id_++;
+  p->src = src;
+  p->dst = dst;
+  p->payload_flits = payload_bytes;
+  p->gen_time = sim_->now();
+
+  const SwitchId ssw = topo_->host(src).sw;
+  const SwitchId dsw = topo_->host(dst).sw;
+  const auto& alts = routes_->alternatives(ssw, dsw);
+  assert(!alts.empty());
+  Nic& n = nic(src);
+  p->alt_index = n.selector->pick(dsw, static_cast<int>(alts.size()));
+  p->route = &alts[idx(p->alt_index)];
+  p->delivery_port = topo_->host(dst).port;
+  p->leg_wire_flits = leg_start_wire_flits(*p->route, 0, p->payload_flits,
+                                           params_.type_bytes);
+  ++injected_;
+  n.source_queue.push_back(p);
+  emit_event(p, PacketEvent::kInjected, kNoSwitch, src);
+  nic_try_start(src);
+}
+
+void Network::nic_try_start(HostId h) {
+  Nic& n = nic(h);
+  Channel& c = chan(n.to_switch);
+  if (c.owner != nullptr) return;
+  Packet* p = nullptr;
+  bool from_itb_queue = false;
+  if (params_.itb_priority_over_injection && !n.itb_queue.empty()) {
+    p = n.itb_queue.front();
+    n.itb_queue.pop_front();
+    from_itb_queue = true;
+  } else if (!n.source_queue.empty()) {
+    p = n.source_queue.front();
+    n.source_queue.pop_front();
+  } else if (!n.itb_queue.empty()) {
+    p = n.itb_queue.front();
+    n.itb_queue.pop_front();
+    from_itb_queue = true;
+  }
+  if (p == nullptr) return;
+  c.owner = p;
+  c.src_in_ch = -1;
+  c.flow_len = p->leg_wire_flits;
+  c.sent = 0;
+  if (from_itb_queue) {
+    // The leg being re-injected is p->current_leg *right now*; the ejection
+    // that feeds it happened at the previous leg's end host.
+    c.flow_eject_host =
+        p->route->legs[idx(p->current_leg - 1)].end_host;
+  } else {
+    c.flow_eject_host = kNoHost;
+    p->inject_time = sim_->now();
+  }
+  c.incoming.emplace_back(p, c.flow_len);
+  try_send(n.to_switch);
+}
+
+int Network::sender_available(const Channel& c) const {
+  if (c.from_switch) {
+    const Channel& in = channels_[idx(c.src_in_ch)];
+    assert(!in.entries.empty() && in.entries.front().pkt == c.owner);
+    const BufferEntry& e = in.entries.front();
+    assert(e.header_done);
+    return (e.arrived_raw - 1) - c.sent;
+  }
+  // NIC sender.
+  const Packet* p = c.owner;
+  if (c.flow_eject_host == kNoHost) {
+    return c.flow_len - c.sent;  // fully resident in NIC memory
+  }
+  // Re-injection: never ahead of what has been received on the previous
+  // leg (minus the ITB mark byte, which is not re-injected).
+  const Channel& in =
+      channels_[idx(nics_[idx(c.flow_eject_host)].from_switch)];
+  for (const BufferEntry& e : in.entries) {
+    if (e.pkt == p) {
+      const int avail = std::min(c.flow_len, e.arrived_raw - 1);
+      return avail - c.sent;
+    }
+  }
+  // The ejection entry must exist until re-injection completes.
+  assert(false && "re-injection without ejection entry");
+  return 0;
+}
+
+void Network::try_send(ChannelId ch) {
+  Channel& c = chan(ch);
+  if (c.owner == nullptr || c.sending || c.grant_pending || c.sender_stopped) {
+    return;
+  }
+  const int avail = sender_available(c);
+  assert(avail >= 0);
+  if (avail == 0) return;
+  const int k = std::min(params_.chunk_flits, avail);
+  c.sending = true;
+  sim_->schedule_in(static_cast<TimePs>(k) * params_.flit_time,
+                    [this, ch, k] { chunk_sent(ch, k); });
+}
+
+void Network::chunk_sent(ChannelId ch, int k) {
+  Channel& c = chan(ch);
+  assert(c.sending && c.owner != nullptr);
+  c.sending = false;
+  c.sent += k;
+  c.busy_accum += static_cast<TimePs>(k) * params_.flit_time;
+
+  if (c.from_switch) {
+    Channel& in = chan(c.src_in_ch);
+    BufferEntry& e = in.entries.front();
+    assert(e.pkt == c.owner);
+    e.forwarded += k;
+    in.occupancy -= k;
+    assert(in.occupancy >= 0);
+    if (in.stop_sent && in.occupancy < params_.go_threshold_flits) {
+      in.stop_sent = false;
+      const ChannelId in_ch = c.src_in_ch;
+      sim_->schedule_in(in.prop_delay, [this, in_ch] { go_arrived(in_ch); });
+    }
+  }
+
+  sim_->schedule_in(c.prop_delay, [this, ch, k] { chunk_arrived(ch, k); });
+
+  if (c.sent == c.flow_len) {
+    sender_done(ch);
+  } else {
+    try_send(ch);
+  }
+}
+
+void Network::sender_done(ChannelId ch) {
+  Channel& c = chan(ch);
+  Packet* p = c.owner;
+
+  if (c.from_switch) {
+    Channel& in = chan(c.src_in_ch);
+    assert(!in.entries.empty() && in.entries.front().pkt == p);
+    assert(in.entries.front().forwarded == in.entries.front().total_flits - 1);
+    in.entries.pop_front();
+    // The next packet's header may already be waiting at the FIFO head.
+    if (!in.entries.empty() && !in.entries.front().header_done &&
+        in.entries.front().arrived_raw > 0) {
+      process_header(c.src_in_ch);
+    }
+  } else {
+    // NIC sender.
+    Nic& n = nic(c.src_host);
+    if (c.flow_eject_host != kNoHost) {
+      // A re-injection finished: free the ITB pool reservation and drop the
+      // ejection entry (NIC memory) of the previous leg.
+      assert(c.flow_eject_host == c.src_host);
+      Channel& in = chan(n.from_switch);
+      auto it = std::find_if(in.entries.begin(), in.entries.end(),
+                             [p](const BufferEntry& e) { return e.pkt == p; });
+      assert(it != in.entries.end());
+      n.itb_pool_used -= it->reserved_bytes;
+      in.occupancy -= it->total_flits - it->forwarded;  // bookkeeping only
+      in.entries.erase(it);
+    }
+  }
+
+  c.owner = nullptr;
+  c.src_in_ch = -1;
+  c.flow_eject_host = kNoHost;
+  c.flow_len = 0;
+  c.sent = 0;
+
+  if (c.from_switch) {
+    grant_next(ch);
+  } else {
+    nic_try_start(c.src_host);
+  }
+}
+
+void Network::chunk_arrived(ChannelId ch, int k) {
+  Channel& c = chan(ch);
+
+  // Attach the chunk to the newest incomplete entry, or open a new entry
+  // for the next packet announced on the wire.
+  BufferEntry* entry = nullptr;
+  if (!c.entries.empty() &&
+      c.entries.back().arrived_raw < c.entries.back().total_flits) {
+    entry = &c.entries.back();
+  } else {
+    assert(!c.incoming.empty());
+    auto [pkt, len] = c.incoming.front();
+    c.incoming.pop_front();
+    c.entries.push_back(BufferEntry{});
+    entry = &c.entries.back();
+    entry->pkt = pkt;
+    entry->total_flits = len;
+  }
+  entry->arrived_raw += k;
+  c.occupancy += k;
+
+  if (c.into_switch) {
+    // Only slack buffers have a capacity; NIC memory is modelled as an
+    // unbounded sink (ejection must never block — §3 of the paper).
+    if (c.occupancy > max_occupancy_) max_occupancy_ = c.occupancy;
+    if (c.occupancy > params_.slack_buffer_flits) ++fc_violations_;
+    if (!c.stop_sent && c.occupancy > params_.stop_threshold_flits) {
+      c.stop_sent = true;
+      sim_->schedule_in(c.prop_delay, [this, ch] { stop_arrived(ch); });
+    }
+    if (&c.entries.front() == entry && !entry->header_done) {
+      process_header(ch);
+    } else if (&c.entries.front() == entry && entry->header_done &&
+               entry->out_ch >= 0) {
+      try_send(entry->out_ch);
+    }
+  } else {
+    // NIC receiver: always sinks; no flow control.
+    if (!entry->header_done) nic_header_arrived(ch, *entry);
+    if (entry->arrived_raw == entry->total_flits && entry->is_delivery) {
+      deliver(ch, *entry);
+      return;
+    }
+    // Wake a stalled re-injection waiting on this data.
+    Nic& n = nic(c.dst_host);
+    Channel& out = chan(n.to_switch);
+    if (out.owner == entry->pkt) try_send(n.to_switch);
+  }
+}
+
+void Network::process_header(ChannelId in_ch) {
+  Channel& in = chan(in_ch);
+  BufferEntry& e = in.entries.front();
+  assert(!e.header_done && e.arrived_raw > 0);
+  e.header_done = true;
+  in.occupancy -= 1;  // the routing byte is consumed by the control unit
+  if (in.stop_sent && in.occupancy < params_.go_threshold_flits) {
+    in.stop_sent = false;
+    sim_->schedule_in(in.prop_delay, [this, in_ch] { go_arrived(in_ch); });
+  }
+  Packet* p = e.pkt;
+  emit_event(p, PacketEvent::kHeaderAtSwitch, in.dst_sw, kNoHost);
+  const PortId port = p->next_port();
+  const ChannelId out_ch = out_channel_at_[idx(in.dst_sw)][idx(port)];
+  assert(out_ch >= 0 && "route names an unconnected port");
+  request_output(out_ch, in_ch, in.dst_port, p);
+}
+
+void Network::request_output(ChannelId out_ch, ChannelId in_ch, PortId in_port,
+                             Packet* pkt) {
+  Channel& out = chan(out_ch);
+  if (out.owner == nullptr) {
+    out.rr_ptr = in_port;
+    grant(out_ch, in_ch, pkt);
+  } else {
+    out.requests.push_back(Request{in_ch, in_port, pkt});
+  }
+}
+
+void Network::grant(ChannelId out_ch, ChannelId in_ch, Packet* pkt) {
+  Channel& out = chan(out_ch);
+  Channel& in = chan(in_ch);
+  assert(out.owner == nullptr);
+  assert(!in.entries.empty() && in.entries.front().pkt == pkt);
+  out.owner = pkt;
+  out.src_in_ch = in_ch;
+  out.flow_len = in.entries.front().total_flits - 1;
+  out.sent = 0;
+  out.grant_pending = true;
+  in.entries.front().out_ch = out_ch;
+  sim_->schedule_in(params_.routing_delay, [this, out_ch] { grant_done(out_ch); });
+}
+
+void Network::grant_done(ChannelId out_ch) {
+  Channel& out = chan(out_ch);
+  assert(out.grant_pending && out.owner != nullptr);
+  out.grant_pending = false;
+  out.incoming.emplace_back(out.owner, out.flow_len);
+  try_send(out_ch);
+}
+
+void Network::grant_next(ChannelId out_ch) {
+  Channel& out = chan(out_ch);
+  if (out.requests.empty()) return;
+  // Demand-slotted round-robin over input ports: serve the pending request
+  // whose input port follows the last-served port most closely.
+  const int ports = topo_->ports_per_switch();
+  std::size_t best = 0;
+  int best_dist = ports + 1;
+  for (std::size_t i = 0; i < out.requests.size(); ++i) {
+    int d = (out.requests[i].in_port - out.rr_ptr - 1 + ports) % ports;
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  const Request req = out.requests[best];
+  out.requests.erase(out.requests.begin() +
+                     static_cast<std::ptrdiff_t>(best));
+  out.rr_ptr = req.in_port;
+  grant(out_ch, req.in_ch, req.pkt);
+}
+
+void Network::stop_arrived(ChannelId ch) {
+  Channel& c = chan(ch);
+  c.sender_stopped = true;
+  if (c.owner != nullptr) c.stopped_since = sim_->now();
+}
+
+void Network::go_arrived(ChannelId ch) {
+  Channel& c = chan(ch);
+  c.sender_stopped = false;
+  if (c.stopped_since >= 0) {
+    c.stopped_accum += sim_->now() - c.stopped_since;
+    c.stopped_since = -1;
+  }
+  try_send(ch);
+}
+
+void Network::nic_header_arrived(ChannelId in_ch, BufferEntry& entry) {
+  entry.header_done = true;
+  Packet* p = entry.pkt;
+  if (p->on_final_leg()) {
+    entry.is_delivery = true;
+    return;
+  }
+  // In-transit packet: reserve buffer space and start the detection + DMA
+  // programming pipeline.
+  entry.is_delivery = false;
+  ++p->itbs_used;
+  emit_event(p, PacketEvent::kEjectedAtItb, kNoSwitch, chan(in_ch).dst_host);
+  Nic& n = nic(chan(in_ch).dst_host);
+  const std::int64_t need = entry.total_flits;  // one byte per flit
+  TimePs ready_delay = params_.itb_detect_delay + params_.itb_dma_delay;
+  if (n.itb_pool_used + need <= params_.itb_pool_bytes) {
+    n.itb_pool_used += need;
+    entry.reserved_bytes = need;
+  } else {
+    // Pool exhausted: the MCP stages the packet through host memory.
+    ++itb_spills_;
+    p->spilled_to_host_memory = true;
+    entry.reserved_bytes = 0;
+    ready_delay += params_.host_memory_penalty;
+  }
+  sim_->schedule_in(ready_delay, [this, p] { itb_ready(p); });
+}
+
+void Network::itb_ready(Packet* p) {
+  const RouteLeg& leg = p->route->legs[idx(p->current_leg)];
+  const HostId host = leg.end_host;
+  assert(host != kNoHost);
+  p->current_leg += 1;
+  p->hop_in_leg = 0;
+  p->leg_wire_flits = leg_start_wire_flits(*p->route, p->current_leg,
+                                           p->payload_flits,
+                                           params_.type_bytes);
+  emit_event(p, PacketEvent::kReinjectionReady, kNoSwitch, host);
+  Nic& n = nic(host);
+  n.itb_queue.push_back(p);
+  nic_try_start(host);
+}
+
+void Network::deliver(ChannelId in_ch, BufferEntry& entry) {
+  Channel& c = chan(in_ch);
+  Packet* p = entry.pkt;
+  p->deliver_time = sim_->now();
+  ++delivered_;
+  emit_event(p, PacketEvent::kDelivered, kNoSwitch, p->dst);
+
+  if (on_delivery_) {
+    on_delivery_(DeliveryRecord{p->src, p->dst, p->payload_flits, p->gen_time,
+                                p->inject_time, p->deliver_time, p->itbs_used,
+                                p->alt_index, p->route->total_switch_hops,
+                                p->spilled_to_host_memory});
+  }
+  // Close the adaptive-policy loop: the source learns the network latency
+  // of the alternative it picked (models an acknowledgment path).
+  nic(p->src).selector->feedback(p->route->dst_switch, p->alt_index,
+                                 p->deliver_time - p->inject_time);
+
+  c.occupancy -= entry.total_flits;
+  auto it = std::find_if(c.entries.begin(), c.entries.end(),
+                         [p](const BufferEntry& e) { return e.pkt == p; });
+  assert(it != c.entries.end());
+  c.entries.erase(it);
+  free_packet(p);
+}
+
+void Network::reset_channel_stats() {
+  for (Channel& c : channels_) {
+    c.busy_accum = 0;
+    c.stopped_accum = 0;
+    if (c.stopped_since >= 0) c.stopped_since = sim_->now();
+  }
+}
+
+void Network::debug_dump(std::ostream& os) const {
+  os << "=== network dump @" << sim_->now() << "ps: injected=" << injected_
+     << " delivered=" << delivered_ << "\n";
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const Channel& c = channels_[i];
+    if (c.owner == nullptr && c.entries.empty() && c.requests.empty()) {
+      continue;
+    }
+    os << "ch " << i << " [";
+    if (c.from_switch) {
+      os << "sw" << c.src_sw << ":p" << c.src_port;
+    } else {
+      os << "host" << c.src_host;
+    }
+    os << " -> ";
+    if (c.into_switch) {
+      os << "sw" << c.dst_sw << ":p" << c.dst_port;
+    } else {
+      os << "host" << c.dst_host;
+    }
+    os << "]";
+    if (c.owner != nullptr) {
+      os << " owner=pkt" << c.owner->id << " sent=" << c.sent << "/"
+         << c.flow_len << (c.sending ? " SENDING" : "")
+         << (c.grant_pending ? " GRANT_PENDING" : "")
+         << (c.sender_stopped ? " STOPPED" : "");
+    }
+    os << " occ=" << c.occupancy << (c.stop_sent ? " STOP_SENT" : "");
+    for (const BufferEntry& e : c.entries) {
+      os << " {pkt" << e.pkt->id << " " << e.arrived_raw << "/"
+         << e.total_flits << " fwd=" << e.forwarded
+         << (e.header_done ? " hdr" : "") << " out=" << e.out_ch << "}";
+    }
+    if (!c.requests.empty()) {
+      os << " waiting:";
+      for (const Request& r : c.requests) os << " pkt" << r.pkt->id;
+    }
+    os << "\n";
+  }
+}
+
+std::uint64_t Network::source_backlog_packets() const {
+  std::uint64_t n = 0;
+  for (const Nic& nc : nics_) n += nc.source_queue.size();
+  return n;
+}
+
+}  // namespace itb

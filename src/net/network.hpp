@@ -1,0 +1,268 @@
+// Event-driven model of a Myrinet network: wormhole/cut-through switches
+// with stop&go flow control, pipelined links, and NICs implementing source
+// routing plus the in-transit buffer mechanism.
+//
+// Granularity: data moves in chunks of params.chunk_flits flits (default 8,
+// chunk 1 = exact flit level).  All buffer accounting stays in flits; the
+// engine never lets a slack buffer exceed its capacity (counted in
+// `flow_control_violations`, asserted zero by the test suite).
+//
+// Model walk-through for one packet hop A -> B:
+//  1. A's sender (NIC memory or A's input buffer at the previous switch)
+//     streams chunks onto the channel whenever it has data and the last
+//     flow-control word it saw was "go".
+//  2. Each chunk lands in B's input slack buffer one propagation delay
+//     after its last flit left A.  Crossing the 56-flit mark upward sends
+//     "stop" back (it reaches A one propagation delay later); crossing the
+//     40-flit mark downward sends "go".
+//  3. When the packet's first flits reach the *head* of B's input FIFO, the
+//     routing control unit strips the leading header byte and requests the
+//     output port it names.  A free output is granted immediately; a busy
+//     one queues the request and serves it in demand-slotted round-robin
+//     order over the input ports.  150 ns after the grant the first flit
+//     can leave the switch.
+//  4. At a NIC, a packet on its final leg is delivered when its tail
+//     arrives.  A packet with in-transit legs remaining reserves ITB pool
+//     space (or takes the host-memory penalty) and becomes ready to
+//     re-inject detect+DMA-program time after its header arrived; it then
+//     competes for the NIC's injection channel (with priority over locally
+//     generated packets) and streams out, never ahead of what has arrived.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/path_policy.hpp"
+#include "core/route_set.hpp"
+#include "net/packet.hpp"
+#include "net/params.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+/// Milestones in a packet's life, reported through the optional packet
+/// event sink (observability/debugging; zero cost when no sink is set).
+enum class PacketEvent : std::uint8_t {
+  kInjected,          // first enqueued at the source NIC
+  kHeaderAtSwitch,    // routing control unit consumed the header byte
+  kEjectedAtItb,      // recognised as in-transit at a host NIC
+  kReinjectionReady,  // detection + DMA programming finished
+  kDelivered,         // tail arrived at the destination NIC
+};
+
+[[nodiscard]] const char* to_string(PacketEvent e);
+
+struct PacketEventRecord {
+  TimePs time;
+  std::uint64_t packet_id;
+  PacketEvent event;
+  SwitchId sw;   // kHeaderAtSwitch only
+  HostId host;   // source / in-transit / destination host, by event
+};
+
+using PacketEventSink = std::function<void(const PacketEventRecord&)>;
+
+/// Snapshot of one delivered packet handed to the delivery callback.
+struct DeliveryRecord {
+  HostId src, dst;
+  int payload_flits;
+  TimePs gen_time, inject_time, deliver_time;
+  int itbs_used;
+  int alt_index;
+  int total_switch_hops;
+  bool spilled;
+};
+
+using DeliveryCallback = std::function<void(const DeliveryRecord&)>;
+
+class Network {
+ public:
+  Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
+          const MyrinetParams& params, PathPolicy policy,
+          std::uint64_t seed = 1);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Called for every packet delivered at its final destination.
+  void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  /// Observe every packet milestone (header consumption per switch, ITB
+  /// ejection/re-injection, delivery).  Pass nullptr to disable.
+  void set_packet_event_sink(PacketEventSink sink) {
+    event_sink_ = std::move(sink);
+  }
+
+  /// Queue a message (ready in the source NIC's memory now) for injection.
+  void inject(HostId src, HostId dst, int payload_bytes);
+
+  // --- observability ----------------------------------------------------
+
+  [[nodiscard]] std::uint64_t packets_injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t packets_in_flight() const {
+    return injected_ - delivered_;
+  }
+  [[nodiscard]] std::uint64_t itb_spills() const { return itb_spills_; }
+  [[nodiscard]] std::uint64_t flow_control_violations() const {
+    return fc_violations_;
+  }
+  /// Largest slack-buffer occupancy ever observed (flits).
+  [[nodiscard]] int max_buffer_occupancy() const { return max_occupancy_; }
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const MyrinetParams& params() const { return params_; }
+
+  /// Cumulative transmit-busy time of a directed channel.
+  [[nodiscard]] TimePs channel_busy_time(ChannelId ch) const {
+    return channels_[static_cast<std::size_t>(ch)].busy_accum;
+  }
+  /// Cumulative time a channel's sender held a packet with data available
+  /// but was stopped by flow control.
+  [[nodiscard]] TimePs channel_stopped_time(ChannelId ch) const {
+    return channels_[static_cast<std::size_t>(ch)].stopped_accum;
+  }
+  /// Zero the per-channel busy/stopped accumulators (start of a
+  /// measurement window).
+  void reset_channel_stats();
+
+  /// Flits currently queued at source NICs (injection backlog), across all
+  /// hosts; grows without bound past saturation.
+  [[nodiscard]] std::uint64_t source_backlog_packets() const;
+
+  /// Diagnostic dump of every busy channel (owner, progress, flow-control
+  /// state) — used to investigate stalls in tests.
+  void debug_dump(std::ostream& os) const;
+
+ private:
+  // ---- internal structures ----
+  struct BufferEntry {
+    Packet* pkt = nullptr;
+    int total_flits = 0;      // flits that will arrive on this channel
+    int arrived_raw = 0;      // flits arrived so far (incl. header byte)
+    int forwarded = 0;        // post-strip flits already sent downstream
+    bool header_done = false; // routing byte consumed / NIC header seen
+    bool is_delivery = false; // NIC entry: final leg (deliver on completion)
+    ChannelId out_ch = -1;    // granted output channel (switch buffers)
+    std::int64_t reserved_bytes = 0;  // ITB pool reservation (NIC entries)
+  };
+
+  struct Request {
+    ChannelId in_ch;
+    PortId in_port;   // for demand-slotted round-robin
+    Packet* pkt;
+  };
+
+  struct Channel {
+    // static wiring
+    TimePs prop_delay = 0;
+    bool from_switch = false;   // sender is a switch input buffer
+    bool into_switch = false;   // receiver is a switch input buffer
+    SwitchId src_sw = kNoSwitch;
+    SwitchId dst_sw = kNoSwitch;
+    PortId dst_port = kNoPort;  // input port at dst_sw (into_switch)
+    PortId src_port = kNoPort;  // output port at src_sw (from_switch)
+    HostId src_host = kNoHost;
+    HostId dst_host = kNoHost;
+
+    // sender-side dynamic state
+    Packet* owner = nullptr;
+    ChannelId src_in_ch = -1;  // feeding input buffer (switch senders)
+    // NIC senders: kNoHost when the flow streams from resident NIC memory
+    // (a locally generated packet); otherwise the in-transit host whose
+    // ejection entry bounds how much may be re-injected.  Snapshotted at
+    // flow start because the packet's own leg counter advances as soon as
+    // its header reaches the *next* in-transit host, long before this flow
+    // finishes sending.
+    HostId flow_eject_host = kNoHost;
+    int flow_len = 0;          // flits this owner sends on this channel
+    int sent = 0;
+    bool sending = false;      // a chunk-transmit event is outstanding
+    bool grant_pending = false;  // routing delay running, cannot send yet
+    bool sender_stopped = false; // last flow-control word was "stop"
+
+    // output arbitration (channels leaving a switch or a NIC)
+    std::vector<Request> requests;
+    PortId rr_ptr = 0;
+
+    // receiver-side state: the input FIFO this channel feeds
+    std::deque<BufferEntry> entries;
+    int occupancy = 0;      // flits resident in the buffer
+    bool stop_sent = false; // receiver has signalled stop upstream
+    std::deque<std::pair<Packet*, int>> incoming;  // (pkt, len) in wire order
+
+    // statistics
+    TimePs busy_accum = 0;
+    TimePs stopped_accum = 0;
+    TimePs stopped_since = -1;
+  };
+
+  struct Nic {
+    HostId id = kNoHost;
+    SwitchId sw = kNoSwitch;
+    ChannelId to_switch = -1;
+    ChannelId from_switch = -1;
+    std::deque<Packet*> source_queue;  // generated, not yet injected
+    std::deque<Packet*> itb_queue;     // in-transit, ready to re-inject
+    std::int64_t itb_pool_used = 0;
+    std::unique_ptr<PathSelector> selector;
+  };
+
+  // ---- engine steps ----
+  void try_send(ChannelId ch);
+  void chunk_sent(ChannelId ch, int k);
+  void chunk_arrived(ChannelId ch, int k);
+  void sender_done(ChannelId ch);
+  void process_header(ChannelId in_ch);
+  void request_output(ChannelId out_ch, ChannelId in_ch, PortId in_port,
+                      Packet* pkt);
+  void grant(ChannelId out_ch, ChannelId in_ch, Packet* pkt);
+  void grant_done(ChannelId out_ch);
+  void grant_next(ChannelId out_ch);
+  void stop_arrived(ChannelId ch);
+  void go_arrived(ChannelId ch);
+  void nic_try_start(HostId h);
+  void nic_header_arrived(ChannelId in_ch, BufferEntry& entry);
+  void itb_ready(Packet* pkt);
+  void deliver(ChannelId in_ch, BufferEntry& entry);
+  [[nodiscard]] int sender_available(const Channel& c) const;
+
+  Channel& chan(ChannelId ch) { return channels_[static_cast<std::size_t>(ch)]; }
+  Nic& nic(HostId h) { return nics_[static_cast<std::size_t>(h)]; }
+
+  Packet* alloc_packet();
+  void free_packet(Packet* p);
+  void emit_event(const Packet* p, PacketEvent ev, SwitchId sw, HostId host);
+
+  // ---- members ----
+  Simulator* sim_;
+  const Topology* topo_;
+  const RouteSet* routes_;
+  MyrinetParams params_;
+
+  std::vector<Channel> channels_;
+  std::vector<Nic> nics_;
+  std::vector<std::vector<ChannelId>> out_channel_at_;  // [switch][port]
+
+  // Packet arena: storage is stable (deque) and recycled via a free list,
+  // so Packet* stays valid for a packet's whole lifetime.
+  std::deque<Packet> packet_storage_;
+  std::vector<Packet*> packet_free_;
+
+  DeliveryCallback on_delivery_;
+  PacketEventSink event_sink_;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t itb_spills_ = 0;
+  std::uint64_t fc_violations_ = 0;
+  int max_occupancy_ = 0;
+};
+
+}  // namespace itb

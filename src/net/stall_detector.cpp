@@ -1,0 +1,39 @@
+#include "net/stall_detector.hpp"
+
+#include <sstream>
+
+namespace itb {
+
+StallDetector::StallDetector(Simulator& sim, const Network& net, TimePs window,
+                             std::function<void(const std::string&)> on_stall)
+    : sim_(&sim), net_(&net), window_(window), on_stall_(std::move(on_stall)) {
+  last_delivered_ = net.packets_delivered();
+  sim_->schedule_in(window_, [this] { sample(); });
+}
+
+void StallDetector::sample() {
+  if (!armed_) return;
+  const std::uint64_t delivered = net_->packets_delivered();
+  const bool progressed = delivered != last_delivered_;
+  const bool in_flight = net_->packets_in_flight() > 0;
+  if (!progressed && in_flight) {
+    if (!stalled_) {
+      stalled_ = true;
+      ++episodes_;
+      if (on_stall_) {
+        std::ostringstream os;
+        os << "no delivery for " << to_ns(window_) << " ns with "
+           << net_->packets_in_flight() << " packet(s) in flight at t="
+           << to_ns(sim_->now()) << " ns";
+        net_->debug_dump(os);
+        on_stall_(os.str());
+      }
+    }
+  } else if (progressed) {
+    stalled_ = false;  // re-arm after recovery
+  }
+  last_delivered_ = delivered;
+  sim_->schedule_in(window_, [this] { sample(); });
+}
+
+}  // namespace itb

@@ -1,0 +1,50 @@
+// Forward-progress watchdog.
+//
+// Wormhole networks fail by *wedging*: every buffer fills, every channel
+// blocks, and simulated time keeps advancing with zero deliveries.  The
+// detector samples the network periodically and reports a stall when
+// packets are in flight but none were delivered for `window` consecutive
+// simulated time.  The test suite uses it two ways: to guard long runs
+// against regressions, and — pointed at a deliberately *illegal* routing
+// (cyclic channel dependencies) — to demonstrate the deadlock the
+// up*/down* rule exists to prevent.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace itb {
+
+class StallDetector {
+ public:
+  /// Starts sampling immediately; `on_stall` fires (once per stall episode)
+  /// when no delivery happened over a full window while packets were in
+  /// flight.  The detector keeps sampling afterwards, so progress after a
+  /// transient stall re-arms it.
+  StallDetector(Simulator& sim, const Network& net, TimePs window,
+                std::function<void(const std::string&)> on_stall);
+
+  [[nodiscard]] bool stalled() const { return stalled_; }
+  [[nodiscard]] int stall_episodes() const { return episodes_; }
+
+  /// Stop sampling (the detector keeps no pending events alive forever;
+  /// it reschedules only while enabled).
+  void disarm() { armed_ = false; }
+
+ private:
+  void sample();
+
+  Simulator* sim_;
+  const Network* net_;
+  TimePs window_;
+  std::function<void(const std::string&)> on_stall_;
+  std::uint64_t last_delivered_ = 0;
+  bool stalled_ = false;
+  bool armed_ = true;
+  int episodes_ = 0;
+};
+
+}  // namespace itb

@@ -1,0 +1,33 @@
+// Enumeration of minimal (shortest, unrestricted) paths over the switch
+// graph.  The ITB mechanism starts from these and splits them into
+// up*/down*-legal segments; the paper caps the number of alternative routes
+// per source-destination pair at 10 to bound NIC table size.
+#pragma once
+
+#include <vector>
+
+#include "route/switch_path.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+/// Up to `max_paths` distinct minimal paths from s to d in deterministic
+/// DFS sequence.  s == d yields the trivial path.
+///
+/// `port_rotation` rotates the per-switch port visiting order; the DFS
+/// therefore *starts* from a different direction for different rotations
+/// while still enumerating the same set.  Route construction passes a
+/// per-pair hash here so that "the first minimal path" — the one ITB-SP
+/// pins — is spread across directions instead of systematically
+/// preferring low-numbered ports (which would starve express channels
+/// and overload +x rings).
+[[nodiscard]] std::vector<SwitchPath> enumerate_minimal_paths(
+    const Topology& topo, SwitchId s, SwitchId d, int max_paths,
+    unsigned port_rotation = 0);
+
+/// Count of minimal paths from s to d, saturating at `cap` (the DFS stops
+/// once `cap` paths are found).
+[[nodiscard]] int count_minimal_paths(const Topology& topo, SwitchId s,
+                                      SwitchId d, int cap);
+
+}  // namespace itb

@@ -1,0 +1,100 @@
+#include "route/simple_routes.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace itb {
+
+namespace {
+std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+SimpleRoutes::SimpleRoutes(const Topology& topo, const UpDown& ud,
+                           SimpleRoutesOptions opts)
+    : topo_(&topo), objective_(opts.objective),
+      num_switches_(topo.num_switches()) {
+  const auto n = idx(num_switches_);
+  routes_.resize(n * n);
+  weight_.assign(idx(topo.num_channels()), 0);
+
+  // Candidate sets per ordered pair.
+  std::vector<std::vector<SwitchPath>> candidates(n * n);
+  for (SwitchId s = 0; s < num_switches_; ++s) {
+    for (SwitchId d = 0; d < num_switches_; ++d) {
+      candidates[key(s, d)] =
+          ud.shortest_legal_paths(s, d, opts.max_candidates);
+      if (candidates[key(s, d)].empty()) {
+        throw std::runtime_error("SimpleRoutes: pair unreachable");
+      }
+    }
+  }
+
+  // Seeded random placement order, as GM's balance depends on order and we
+  // want determinism without a systematic bias toward low switch ids.
+  std::vector<std::size_t> order;
+  order.reserve(n * n);
+  for (std::size_t k = 0; k < n * n; ++k) order.push_back(k);
+  Rng rng(opts.seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  // Greedy placement.
+  for (const std::size_t k : order) {
+    const auto& cands = candidates[k];
+    const std::size_t best = pick_best(cands);
+    routes_[k] = cands[best];
+    charge(routes_[k], +1);
+  }
+
+  // Refinement: re-place each route with its own charge removed.
+  for (int pass = 0; pass < opts.refine_passes; ++pass) {
+    for (const std::size_t k : order) {
+      charge(routes_[k], -1);
+      const auto& cands = candidates[k];
+      const std::size_t best = pick_best(cands);
+      routes_[k] = cands[best];
+      charge(routes_[k], +1);
+    }
+  }
+}
+
+void SimpleRoutes::charge(const SwitchPath& p, int delta) {
+  for (std::size_t i = 0; i < p.cable.size(); ++i) {
+    const ChannelId ch = topo_->channel_from_switch(p.sw[i], p.cable[i]);
+    weight_[idx(ch)] += delta;
+    assert(weight_[idx(ch)] >= 0);
+  }
+}
+
+std::size_t SimpleRoutes::pick_best(
+    const std::vector<SwitchPath>& candidates) const {
+  std::size_t best = 0;
+  int best_max = std::numeric_limits<int>::max();
+  long best_sum = std::numeric_limits<long>::max();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const SwitchPath& p = candidates[i];
+    int w_max = 0;
+    long w_sum = 0;
+    for (std::size_t h = 0; h < p.cable.size(); ++h) {
+      const ChannelId ch = topo_->channel_from_switch(p.sw[h], p.cable[h]);
+      const int w = weight_[idx(ch)];
+      w_max = std::max(w_max, w);
+      w_sum += w;
+    }
+    const bool better =
+        objective_ == BalanceObjective::kMinMax
+            ? (w_max < best_max || (w_max == best_max && w_sum < best_sum))
+            : (w_sum < best_sum || (w_sum == best_sum && w_max < best_max));
+    if (better) {
+      best_max = w_max;
+      best_sum = w_sum;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace itb

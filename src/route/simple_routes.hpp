@@ -1,0 +1,79 @@
+// Emulation of Myricom GM's `simple_routes` route selection.
+//
+// GM computes the set of up*/down* paths and then selects ONE path per
+// source-destination pair, balancing traffic across links via link weights.
+// The paper notes two properties we preserve:
+//   * the selected path may be a *non-minimal* legal path — GM optimizes
+//     balance over the legal shortest paths it found, and legal shortest
+//     paths are themselves often longer than true minimal paths;
+//   * using simple_routes' balanced selection beats naively taking any
+//     minimal legal path, so it is the right baseline for UP/DOWN.
+//
+// Our emulation: for every ordered switch pair, enumerate up to
+// `max_candidates` shortest legal paths; process pairs in a seeded random
+// order; pick the candidate minimizing (max directed-channel weight along
+// the path, then total weight, then candidate index) and charge one unit of
+// weight to each directed channel it crosses.  `refine_passes` additional
+// passes re-place every route after removing its own charge, which lets
+// early (greedy) decisions be revisited.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/switch_path.hpp"
+#include "route/updown.hpp"
+#include "sim/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+/// Balancing objective when choosing among a pair's candidate paths.
+enum class BalanceObjective {
+  kMinMax,  // minimise the hottest channel on the path (default)
+  kMinSum,  // minimise total weight along the path
+};
+
+struct SimpleRoutesOptions {
+  int max_candidates = 16;
+  int refine_passes = 2;
+  std::uint64_t seed = 1;
+  BalanceObjective objective = BalanceObjective::kMinMax;
+};
+
+class SimpleRoutes {
+ public:
+  /// Computes one legal path per ordered switch pair.
+  SimpleRoutes(const Topology& topo, const UpDown& ud,
+               SimpleRoutesOptions opts = {});
+
+  /// Selected path for the ordered pair (s, d); s == d yields the trivial
+  /// single-switch path.
+  [[nodiscard]] const SwitchPath& route(SwitchId s, SwitchId d) const {
+    return routes_[key(s, d)];
+  }
+
+  /// Final directed-channel weights (route count per channel), exposed for
+  /// tests and the path-statistics bench.
+  [[nodiscard]] const std::vector<int>& channel_weights() const {
+    return weight_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t key(SwitchId s, SwitchId d) const {
+    return static_cast<std::size_t>(s) *
+               static_cast<std::size_t>(num_switches_) +
+           static_cast<std::size_t>(d);
+  }
+  void charge(const SwitchPath& p, int delta);
+  [[nodiscard]] std::size_t pick_best(
+      const std::vector<SwitchPath>& candidates) const;
+
+  const Topology* topo_;
+  BalanceObjective objective_ = BalanceObjective::kMinMax;
+  int num_switches_;
+  std::vector<SwitchPath> routes_;  // [s * S + d]
+  std::vector<int> weight_;         // per directed channel
+};
+
+}  // namespace itb

@@ -1,0 +1,22 @@
+#include "route/switch_path.hpp"
+
+namespace itb {
+
+bool path_is_consistent(const Topology& topo, const SwitchPath& path) {
+  if (path.sw.empty()) return false;
+  if (path.sw.size() != path.cable.size() + 1) return false;
+  for (std::size_t i = 0; i < path.cable.size(); ++i) {
+    const CableId c = path.cable[i];
+    if (c < 0 || c >= topo.num_cables()) return false;
+    const Cable& cb = topo.cable(c);
+    if (cb.to_host()) return false;
+    const SwitchId a = path.sw[i];
+    const SwitchId b = path.sw[i + 1];
+    const bool forward = cb.a.sw == a && cb.b.sw == b;
+    const bool backward = cb.a.sw == b && cb.b.sw == a;
+    if (!forward && !backward) return false;
+  }
+  return true;
+}
+
+}  // namespace itb

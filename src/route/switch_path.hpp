@@ -1,0 +1,31 @@
+// Switch-level path representation shared by the routing algorithms.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "topo/types.hpp"
+
+namespace itb {
+
+/// A walk over the switch graph: `sw` lists the visited switches and
+/// `cable[i]` is the cable crossed between sw[i] and sw[i+1].
+/// Invariant: sw.size() == cable.size() + 1 (a single-switch path has one
+/// switch and no cables).
+struct SwitchPath {
+  std::vector<SwitchId> sw;
+  std::vector<CableId> cable;
+
+  [[nodiscard]] int hops() const { return static_cast<int>(cable.size()); }
+  [[nodiscard]] SwitchId src() const { return sw.front(); }
+  [[nodiscard]] SwitchId dst() const { return sw.back(); }
+
+  friend bool operator==(const SwitchPath&, const SwitchPath&) = default;
+};
+
+/// Checks structural consistency of a path against a topology: consecutive
+/// switches joined by the named cables, no host cables.
+[[nodiscard]] bool path_is_consistent(const Topology& topo,
+                                      const SwitchPath& path);
+
+}  // namespace itb

@@ -1,0 +1,176 @@
+#include "route/updown.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+namespace itb {
+
+namespace {
+std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+UpDown::UpDown(const Topology& topo, SwitchId root)
+    : topo_(&topo), root_(root) {
+  level_ = topo.switch_distances_from(root);
+  for (const int l : level_) {
+    if (l < 0) {
+      throw std::invalid_argument("UpDown: switch graph is not connected");
+    }
+  }
+  up_end_.assign(idx(topo.num_cables()), kNoSwitch);
+  for (CableId c = 0; c < topo.num_cables(); ++c) {
+    const Cable& cb = topo.cable(c);
+    if (cb.to_host()) continue;
+    const SwitchId a = cb.a.sw;
+    const SwitchId b = cb.b.sw;
+    const int la = level_[idx(a)];
+    const int lb = level_[idx(b)];
+    // "Up" end: closer to the root; ties broken by the lower switch id.
+    if (la != lb) {
+      up_end_[idx(c)] = la < lb ? a : b;
+    } else {
+      up_end_[idx(c)] = a < b ? a : b;
+    }
+  }
+}
+
+bool UpDown::legal(const SwitchPath& path) const {
+  bool gone_down = false;
+  for (std::size_t i = 0; i < path.cable.size(); ++i) {
+    const bool up = is_up(path.cable[i], path.sw[i]);
+    if (up && gone_down) return false;
+    if (!up) gone_down = true;
+  }
+  return true;
+}
+
+std::vector<int> UpDown::state_distances_from(SwitchId s) const {
+  // State encoding: 2*switch + phase; phase 0 = no down cable taken yet,
+  // phase 1 = at least one down cable taken (up cables now forbidden).
+  const auto n = idx(topo_->num_switches());
+  std::vector<int> dist(2 * n, -1);
+  std::deque<std::int32_t> q;
+  dist[idx(2 * s)] = 0;
+  q.push_back(2 * s);
+  while (!q.empty()) {
+    const std::int32_t state = q.front();
+    q.pop_front();
+    const SwitchId u = state / 2;
+    const int phase = state % 2;
+    for (const PortId p : topo_->switch_ports_of(u)) {
+      const PortPeer& e = topo_->peer(u, p);
+      const bool up = is_up(e.cable, u);
+      if (phase == 1 && up) continue;  // down->up transition forbidden
+      const std::int32_t next = 2 * e.sw + (up ? phase : 1);
+      if (dist[idx(next)] == -1) {
+        dist[idx(next)] = dist[idx(state)] + 1;
+        q.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+int UpDown::legal_distance(SwitchId s, SwitchId d) const {
+  if (s == d) return 0;
+  const auto dist = state_distances_from(s);
+  const int a = dist[idx(2 * d)];
+  const int b = dist[idx(2 * d + 1)];
+  if (a < 0) return b;
+  if (b < 0) return a;
+  return std::min(a, b);
+}
+
+std::vector<int> UpDown::legal_distances_from(SwitchId s) const {
+  const auto dist = state_distances_from(s);
+  std::vector<int> out(idx(topo_->num_switches()), -1);
+  for (SwitchId d = 0; d < topo_->num_switches(); ++d) {
+    const int a = dist[idx(2 * d)];
+    const int b = dist[idx(2 * d + 1)];
+    out[idx(d)] = (a < 0) ? b : (b < 0 ? a : std::min(a, b));
+  }
+  out[idx(s)] = 0;
+  return out;
+}
+
+std::vector<SwitchPath> UpDown::shortest_legal_paths(SwitchId s, SwitchId d,
+                                                     int max_paths) const {
+  std::vector<SwitchPath> out;
+  if (max_paths <= 0) return out;
+  if (s == d) {
+    out.push_back(SwitchPath{{s}, {}});
+    return out;
+  }
+  const auto dist = state_distances_from(s);
+  const int da = dist[idx(2 * d)];
+  const int db = dist[idx(2 * d + 1)];
+  if (da < 0 && db < 0) return out;
+  const int best = (da < 0) ? db : (db < 0 ? da : std::min(da, db));
+
+  // Depth-first backward walk over the BFS predecessor DAG.  The reversed
+  // cable list is accumulated on an explicit stack-free recursion (paths
+  // are at most a few tens of hops).
+  std::vector<CableId> rev_cables;
+  std::vector<SwitchId> rev_switches;
+
+  auto emit = [&] {
+    SwitchPath path;
+    path.sw.assign(rev_switches.rbegin(), rev_switches.rend());
+    path.cable.assign(rev_cables.rbegin(), rev_cables.rend());
+    out.push_back(std::move(path));
+  };
+
+  // rec(v, phase): dist[(v,phase)] steps remain back to (s, 0).
+  auto rec = [&](auto&& self, SwitchId v, int phase) -> void {
+    if (static_cast<int>(out.size()) >= max_paths) return;
+    const int dv = dist[idx(2 * v + phase)];
+    if (dv == 0) {
+      assert(v == s && phase == 0);
+      emit();
+      return;
+    }
+    for (const PortId p : topo_->switch_ports_of(v)) {
+      if (static_cast<int>(out.size()) >= max_paths) return;
+      const PortPeer& e = topo_->peer(v, p);
+      const SwitchId u = e.sw;
+      const CableId c = e.cable;
+      const bool traversal_up = is_up(c, u);  // direction of u -> v
+      rev_cables.push_back(c);
+      rev_switches.push_back(u);
+      if (phase == 0) {
+        // (u,0) --up--> (v,0)
+        if (traversal_up && dist[idx(2 * u)] == dv - 1) self(self, u, 0);
+      } else {
+        // (u,0) --down--> (v,1) or (u,1) --down--> (v,1)
+        if (!traversal_up) {
+          if (dist[idx(2 * u)] == dv - 1) self(self, u, 0);
+          if (static_cast<int>(out.size()) < max_paths &&
+              dist[idx(2 * u + 1)] == dv - 1) {
+            self(self, u, 1);
+          }
+        }
+      }
+      rev_cables.pop_back();
+      rev_switches.pop_back();
+    }
+  };
+
+  rev_switches.push_back(d);  // destination is the last switch of every path
+  // A path's final phase is determined by its contents (pure-up paths end
+  // in phase 0, everything else in phase 1), so the two start phases emit
+  // disjoint path sets.
+  for (int phase = 0; phase < 2; ++phase) {
+    const int dp = dist[idx(2 * d + phase)];
+    if (dp == best) {
+      rev_switches.clear();
+      rev_cables.clear();
+      rev_switches.push_back(d);
+      rec(rec, d, phase);
+    }
+  }
+  return out;
+}
+
+}  // namespace itb

@@ -1,0 +1,73 @@
+// up*/down* routing (Schroeder et al., Autonet; used by Myrinet).
+//
+// A breadth-first spanning tree is computed from a root switch and every
+// switch-to-switch cable is oriented: its "up" end is (1) the endpoint
+// closer to the root, or (2) the endpoint with the lower switch id when
+// both are at the same tree level.  A legal route traverses zero or more
+// cables in the "up" direction followed by zero or more in the "down"
+// direction; this breaks every cycle (each cycle contains both an up-most
+// switch and a down-most switch) and therefore every cyclic channel
+// dependency, making the routing deadlock-free without virtual channels.
+#pragma once
+
+#include <vector>
+
+#include "route/switch_path.hpp"
+#include "topo/topology.hpp"
+#include "topo/types.hpp"
+
+namespace itb {
+
+class UpDown {
+ public:
+  /// Orients all switch-to-switch cables of `topo` from the given root.
+  /// The topology's switch graph must be connected.
+  explicit UpDown(const Topology& topo, SwitchId root = 0);
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] SwitchId root() const { return root_; }
+
+  /// BFS tree level of a switch (root is 0).
+  [[nodiscard]] int level(SwitchId s) const {
+    return level_[static_cast<std::size_t>(s)];
+  }
+
+  /// The switch at the "up" end of a switch-to-switch cable.
+  [[nodiscard]] SwitchId up_end(CableId c) const {
+    return up_end_[static_cast<std::size_t>(c)];
+  }
+
+  /// True when crossing cable `c` out of switch `from` moves in the "up"
+  /// direction (i.e. `from` is the down end).
+  [[nodiscard]] bool is_up(CableId c, SwitchId from) const {
+    return up_end_[static_cast<std::size_t>(c)] != from;
+  }
+
+  /// True when `path` obeys the up*/down* rule.
+  [[nodiscard]] bool legal(const SwitchPath& path) const;
+
+  /// Length of the shortest *legal* path from s to d (0 when s == d);
+  /// -1 when unreachable, which cannot happen on a connected topology.
+  [[nodiscard]] int legal_distance(SwitchId s, SwitchId d) const;
+
+  /// Up to `max_paths` distinct shortest legal paths from s to d, in a
+  /// deterministic (port-order) sequence.  For s == d returns the trivial
+  /// single-switch path.
+  [[nodiscard]] std::vector<SwitchPath> shortest_legal_paths(
+      SwitchId s, SwitchId d, int max_paths) const;
+
+  /// All shortest legal distances from `s` (index = destination switch).
+  [[nodiscard]] std::vector<int> legal_distances_from(SwitchId s) const;
+
+ private:
+  // BFS over the (switch, phase) product graph; phase 0 = may still go up,
+  // phase 1 = has gone down.  Returns 2*num_switches distances.
+  [[nodiscard]] std::vector<int> state_distances_from(SwitchId s) const;
+
+  const Topology* topo_;
+  SwitchId root_;
+  std::vector<int> level_;        // per switch
+  std::vector<SwitchId> up_end_;  // per cable; kNoSwitch for host cables
+};
+
+}  // namespace itb

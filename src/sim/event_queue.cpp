@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace itb {
+
+std::pair<TimePs, EventFn> EventQueue::pop() {
+  assert(!heap_.empty());
+  Node top = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return {top.at, std::move(top.fn)};
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child =
+        (first_child + kArity < n) ? first_child + kArity : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (less(heap_[c], heap_[best])) best = c;
+    }
+    if (!less(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+}  // namespace itb

@@ -1,0 +1,64 @@
+// Deterministic discrete-event queue.
+//
+// A 4-ary min-heap keyed on (time, sequence-number).  The sequence number
+// makes simultaneous events fire in scheduling order, which in turn makes
+// every simulation a pure function of its inputs — a property the test
+// suite asserts and the experiment harness relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace itb {
+
+/// Event payload.  Captures should stay within the small-buffer optimisation
+/// of std::function (one pointer plus one word on libstdc++) to keep the hot
+/// loop allocation-free; all engine call sites follow that rule.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  EventQueue() { heap_.reserve(1024); }
+
+  /// Schedule `fn` at absolute time `at`.  Events with equal timestamps fire
+  /// in the order they were pushed.
+  void push(TimePs at, EventFn fn) {
+    heap_.push_back(Node{at, next_seq_++, std::move(fn)});
+    sift_up(heap_.size() - 1);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event; kTimeNever when empty.
+  [[nodiscard]] TimePs next_time() const {
+    return heap_.empty() ? kTimeNever : heap_.front().at;
+  }
+
+  /// Remove the earliest event and return (time, fn).  Requires !empty().
+  std::pair<TimePs, EventFn> pop();
+
+ private:
+  struct Node {
+    TimePs at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  static constexpr std::size_t kArity = 4;
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  [[nodiscard]] static bool less(const Node& a, const Node& b) {
+    return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+  }
+
+  std::vector<Node> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace itb

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// The whole evaluation must be a pure function of its seeds, so we carry our
+// own generator instead of depending on the (implementation-defined)
+// distributions of <random>.  The generator is xoshiro256** seeded through
+// SplitMix64, following the reference construction by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+
+namespace itb {
+
+/// SplitMix64 step; used to expand a single seed into generator state and to
+/// derive independent per-stream seeds (e.g. one stream per host).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  /// Seeds the four state words via SplitMix64 so that any seed (including
+  /// zero) produces a valid, well-mixed state.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool next_bool(double p);
+
+  /// Derive an independent child generator; deterministic in (state, salt).
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace itb

@@ -1,0 +1,49 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace itb {
+
+void Simulator::schedule_in(TimePs delay, EventFn fn) {
+  assert(delay >= 0);
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(TimePs at, EventFn fn) {
+  assert(at >= now_);
+  queue_.push(at, std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(TimePs deadline) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > deadline) break;
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    fn();
+    ++n;
+  }
+  executed_ += n;
+  // Advance the clock to the deadline even if the queue drained early, so
+  // that rate computations over [0, deadline] are well defined.
+  if (deadline != kTimeNever && now_ < deadline && queue_.next_time() > deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::run_while(const std::function<bool()>& keep_going) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_ && keep_going()) {
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    fn();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+}  // namespace itb

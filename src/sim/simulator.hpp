@@ -1,0 +1,53 @@
+// Discrete-event simulator core loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace itb {
+
+/// Owns the clock and the event queue and drives the run loop.  Components
+/// hold a reference to the Simulator and schedule callbacks on it; they must
+/// outlive the run.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePs now() const { return now_; }
+
+  /// Total events executed so far (monotone; useful as a progress measure
+  /// and as a runaway guard in tests).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Schedule `fn` `delay` picoseconds from now (delay >= 0).
+  void schedule_in(TimePs delay, EventFn fn);
+
+  /// Schedule `fn` at absolute time `at` (at >= now()).
+  void schedule_at(TimePs at, EventFn fn);
+
+  /// Run until the queue drains or `deadline` is passed (events at exactly
+  /// `deadline` still execute).  Returns the number of events executed by
+  /// this call.
+  std::uint64_t run_until(TimePs deadline = kTimeNever);
+
+  /// Run while `keep_going()` is true (checked between events) and the queue
+  /// is non-empty.  Used by the harness to stop after N measured messages.
+  std::uint64_t run_while(const std::function<bool()>& keep_going);
+
+  /// Ask a running run_* loop to stop after the current event.
+  void request_stop() { stop_requested_ = true; }
+
+ private:
+  EventQueue queue_;
+  TimePs now_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace itb

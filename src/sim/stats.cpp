@@ -1,0 +1,65 @@
+#include "sim/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace itb {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : width_(bucket_width), buckets_(num_buckets, 0) {
+  assert(bucket_width > 0.0 && num_buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < 0) x = 0;
+  const auto idx = static_cast<std::size_t>(x / width_);
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+  } else {
+    ++buckets_[idx];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  assert(total_ > 0);
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return width_ * static_cast<double>(i + 1);
+  }
+  return width_ * static_cast<double>(buckets_.size());
+}
+
+}  // namespace itb

@@ -1,0 +1,59 @@
+// Streaming statistics used by the metric collectors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace itb {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset() { *this = RunningStats{}; }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear histogram with overflow bucket; supports approximate
+/// quantiles.  Used for latency distributions (bucket width in ns chosen by
+/// the collector).
+class Histogram {
+ public:
+  /// `bucket_width` > 0; values >= bucket_width*num_buckets land in the
+  /// overflow bucket (counted, and quantiles saturate at the top edge).
+  Histogram(double bucket_width, std::size_t num_buckets);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  /// q in [0,1]; returns the upper edge of the bucket containing the
+  /// q-quantile.  Requires count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  [[nodiscard]] double bucket_width() const { return width_; }
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace itb

@@ -1,0 +1,272 @@
+#include "topo/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace itb {
+
+namespace {
+
+/// Wire every switch's hosts after the switch fabric is complete, so host
+/// ids are dense per switch: switch s owns hosts [s*h, (s+1)*h).
+void attach_all_hosts(Topology& t, int hosts_per_switch) {
+  for (SwitchId s = 0; s < t.num_switches(); ++s) {
+    t.attach_hosts(s, hosts_per_switch);
+  }
+}
+
+}  // namespace
+
+Topology make_torus_2d(int rows, int cols, int hosts_per_switch,
+                       int ports_per_switch) {
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("make_torus_2d: rows/cols must be >= 2");
+  }
+  Topology t(rows * cols, ports_per_switch,
+             "torus-" + std::to_string(rows) + "x" + std::to_string(cols));
+  auto id = [cols](int r, int c) { return static_cast<SwitchId>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      t.set_pos(id(r, c), c, r);
+      t.connect_auto(id(r, c), id(r, (c + 1) % cols));  // +x
+      t.connect_auto(id(r, c), id((r + 1) % rows, c));  // +y
+    }
+  }
+  attach_all_hosts(t, hosts_per_switch);
+  return t;
+}
+
+Topology make_torus_2d_express(int rows, int cols, int hosts_per_switch,
+                               int ports_per_switch) {
+  if (rows < 5 || cols < 5) {
+    throw std::invalid_argument(
+        "make_torus_2d_express: rows/cols must be >= 5 so express and "
+        "regular neighbours are distinct");
+  }
+  Topology t(rows * cols, ports_per_switch,
+             "torus-express-" + std::to_string(rows) + "x" +
+                 std::to_string(cols));
+  auto id = [cols](int r, int c) { return static_cast<SwitchId>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      t.set_pos(id(r, c), c, r);
+      t.connect_auto(id(r, c), id(r, (c + 1) % cols));  // +x
+      t.connect_auto(id(r, c), id((r + 1) % rows, c));  // +y
+      t.connect_auto(id(r, c), id(r, (c + 2) % cols));  // +2x express
+      t.connect_auto(id(r, c), id((r + 2) % rows, c));  // +2y express
+    }
+  }
+  attach_all_hosts(t, hosts_per_switch);
+  return t;
+}
+
+Topology make_cplant() {
+  constexpr int kGroups = 6;
+  constexpr int kGroupSize = 8;  // 3-cube plus complement cable
+  constexpr int kSwitches = kGroups * kGroupSize + 2;  // 50
+  constexpr int kHostsPerSwitch = 8;                   // 400 hosts total
+  Topology t(kSwitches, 16, "cplant");
+
+  auto sw = [](int group, int index) {
+    return static_cast<SwitchId>(group * kGroupSize + index);
+  };
+
+  // Intra-group fabric: 3-cube plus a cable to the complement switch.
+  for (int g = 0; g < kGroups; ++g) {
+    for (int i = 0; i < kGroupSize; ++i) {
+      for (int bit = 0; bit < 3; ++bit) {
+        const int j = i ^ (1 << bit);
+        if (i < j) t.connect_auto(sw(g, i), sw(g, j));
+      }
+      const int comp = i ^ 0b111;
+      if (i < comp) t.connect_auto(sw(g, i), sw(g, comp));
+    }
+  }
+
+  // Inter-group fabric: groups labelled 0..5 form the 6-vertex incomplete
+  // 3-cube (vertices 6 and 7 absent) plus the two complement pairs that
+  // exist, (2,5) and (3,4).  Equivalent switches (same index) are joined.
+  const std::vector<std::pair<int, int>> group_pairs = {
+      {0, 1}, {0, 2}, {0, 4}, {1, 3}, {1, 5}, {2, 3}, {4, 5},  // cube edges
+      {2, 5}, {3, 4},                                          // complements
+  };
+  for (const auto& [g1, g2] : group_pairs) {
+    for (int i = 0; i < kGroupSize; ++i) {
+      t.connect_auto(sw(g1, i), sw(g2, i));
+    }
+  }
+
+  // The additional 2-switch group: one switch fans out to each switch of
+  // group 0, the other to each switch of group 1.
+  const SwitchId extra0 = kGroups * kGroupSize;      // 48
+  const SwitchId extra1 = kGroups * kGroupSize + 1;  // 49
+  for (int i = 0; i < kGroupSize; ++i) {
+    t.connect_auto(extra0, sw(0, i));
+    t.connect_auto(extra1, sw(1, i));
+  }
+
+  // Layout for utilization maps: groups side by side, the extra pair below.
+  for (int g = 0; g < kGroups; ++g) {
+    for (int i = 0; i < kGroupSize; ++i) {
+      t.set_pos(sw(g, i), g * 3 + (i % 2), i / 2);
+    }
+  }
+  t.set_pos(extra0, 0, kGroupSize / 2 + 1);
+  t.set_pos(extra1, 3, kGroupSize / 2 + 1);
+
+  attach_all_hosts(t, kHostsPerSwitch);
+  return t;
+}
+
+Topology make_kary_ncube(int k, int n, int hosts_per_switch,
+                         int ports_per_switch) {
+  if (k < 2 || n < 1) {
+    throw std::invalid_argument("make_kary_ncube: need k >= 2, n >= 1");
+  }
+  double count = 1;
+  for (int d = 0; d < n; ++d) count *= k;
+  if (count > 4096) {
+    throw std::invalid_argument("make_kary_ncube: too many switches");
+  }
+  const int switches = static_cast<int>(count);
+  Topology t(switches, ports_per_switch,
+             "kary-" + std::to_string(k) + "-" + std::to_string(n));
+
+  // Mixed-radix coordinates; stride[d] = k^d.
+  std::vector<int> stride(static_cast<std::size_t>(n), 1);
+  for (int d = 1; d < n; ++d) {
+    stride[static_cast<std::size_t>(d)] = stride[static_cast<std::size_t>(d - 1)] * k;
+  }
+  auto digit = [&](int s, int d) { return (s / stride[static_cast<std::size_t>(d)]) % k; };
+  for (int s = 0; s < switches; ++s) {
+    for (int d = 0; d < n; ++d) {
+      // Connect only the +1 direction; -1 is the neighbour's +1.  For
+      // k == 2 both directions coincide, so connect once (from the lower
+      // digit) to avoid a duplicate cable.
+      const int dig = digit(s, d);
+      const int up = s - dig * stride[static_cast<std::size_t>(d)] +
+                     ((dig + 1) % k) * stride[static_cast<std::size_t>(d)];
+      if (k == 2 && dig == 1) continue;
+      t.connect_auto(s, up);
+    }
+    // A planar-ish layout for utilization maps: first two dims.
+    t.set_pos(s, digit(s, 0), n > 1 ? digit(s, 1) : 0);
+  }
+  attach_all_hosts(t, hosts_per_switch);
+  return t;
+}
+
+Topology make_hypercube(int dims, int hosts_per_switch, int ports_per_switch) {
+  if (dims < 1 || dims > 16) {
+    throw std::invalid_argument("make_hypercube: dims out of range");
+  }
+  const int n = 1 << dims;
+  Topology t(n, ports_per_switch, "hypercube-" + std::to_string(dims));
+  for (int i = 0; i < n; ++i) {
+    for (int d = 0; d < dims; ++d) {
+      const int j = i ^ (1 << d);
+      if (i < j) t.connect_auto(i, j);
+    }
+    t.set_pos(i, i % 4, i / 4);
+  }
+  attach_all_hosts(t, hosts_per_switch);
+  return t;
+}
+
+Topology make_mesh_2d(int rows, int cols, int hosts_per_switch,
+                      int ports_per_switch) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("make_mesh_2d: empty mesh");
+  }
+  Topology t(rows * cols, ports_per_switch,
+             "mesh-" + std::to_string(rows) + "x" + std::to_string(cols));
+  auto id = [cols](int r, int c) { return static_cast<SwitchId>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      t.set_pos(id(r, c), c, r);
+      if (c + 1 < cols) t.connect_auto(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) t.connect_auto(id(r, c), id(r + 1, c));
+    }
+  }
+  attach_all_hosts(t, hosts_per_switch);
+  return t;
+}
+
+Topology make_irregular(int num_switches, int hosts_per_switch,
+                        int max_switch_ports, Rng& rng,
+                        int ports_per_switch) {
+  if (num_switches < 2) {
+    throw std::invalid_argument("make_irregular: need >= 2 switches");
+  }
+  if (max_switch_ports + hosts_per_switch > ports_per_switch) {
+    throw std::invalid_argument("make_irregular: port budget exceeded");
+  }
+  Topology t(num_switches, ports_per_switch,
+             "irregular-" + std::to_string(num_switches));
+
+  std::vector<int> used(static_cast<std::size_t>(num_switches), 0);
+  auto adjacent = [&](SwitchId a, SwitchId b) {
+    for (const SwitchId n : t.switch_neighbors(a)) {
+      if (n == b) return true;
+    }
+    return false;
+  };
+
+  // Candidate pairs in random order.
+  std::vector<std::pair<SwitchId, SwitchId>> pairs;
+  for (SwitchId a = 0; a < num_switches; ++a) {
+    for (SwitchId b = a + 1; b < num_switches; ++b) pairs.emplace_back(a, b);
+  }
+  for (std::size_t i = pairs.size(); i > 1; --i) {
+    std::swap(pairs[i - 1], pairs[rng.next_below(i)]);
+  }
+  for (const auto& [a, b] : pairs) {
+    if (used[static_cast<std::size_t>(a)] >= max_switch_ports ||
+        used[static_cast<std::size_t>(b)] >= max_switch_ports) {
+      continue;
+    }
+    // Leave some randomness in the density: accept with probability 1/2.
+    if (!rng.next_bool(0.5)) continue;
+    t.connect_auto(a, b);
+    ++used[static_cast<std::size_t>(a)];
+    ++used[static_cast<std::size_t>(b)];
+  }
+
+  // Repair connectivity: repeatedly join the component of switch 0 with any
+  // unreachable switch, using endpoints that still have port budget (fall
+  // back to any endpoint if the budget is exhausted — physical networks get
+  // cabled up even when it spoils symmetry).
+  for (;;) {
+    const auto dist = t.switch_distances_from(0);
+    SwitchId orphan = kNoSwitch;
+    for (SwitchId s = 0; s < num_switches; ++s) {
+      if (dist[static_cast<std::size_t>(s)] < 0) {
+        orphan = s;
+        break;
+      }
+    }
+    if (orphan == kNoSwitch) break;
+    SwitchId anchor = kNoSwitch;
+    for (SwitchId s = 0; s < num_switches; ++s) {
+      if (dist[static_cast<std::size_t>(s)] >= 0 &&
+          used[static_cast<std::size_t>(s)] < max_switch_ports &&
+          !adjacent(s, orphan)) {
+        anchor = s;
+        break;
+      }
+    }
+    if (anchor == kNoSwitch) anchor = 0;
+    t.connect_auto(anchor, orphan);
+    ++used[static_cast<std::size_t>(anchor)];
+    ++used[static_cast<std::size_t>(orphan)];
+  }
+
+  attach_all_hosts(t, hosts_per_switch);
+  return t;
+}
+
+}  // namespace itb

@@ -1,0 +1,59 @@
+// Topology generators for the networks evaluated in the paper plus a few
+// auxiliary families used by tests and examples.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+/// 2-D torus of rows x cols switches (paper: 8x8, 16-port switches, 8 hosts
+/// per switch -> 512 hosts, 4 ports left open per switch).  Each switch is
+/// connected to its four wrap-around neighbours with single cables.
+Topology make_torus_2d(int rows, int cols, int hosts_per_switch,
+                       int ports_per_switch = 16);
+
+/// 2-D torus with express channels (Dally '91): the plain torus plus cables
+/// to the second-order (two hops away) neighbour in each dimension (paper:
+/// all 16 ports used).  Requires rows, cols >= 5 so that regular and express
+/// neighbours are distinct and no port is double-booked.
+Topology make_torus_2d_express(int rows, int cols, int hosts_per_switch,
+                               int ports_per_switch = 16);
+
+/// The CPLANT network at Sandia (paper Figure 6): 50 16-port switches and
+/// 400 hosts.  48 switches form 6 groups of 8; each group is a 3-cube with
+/// an extra intra-group cable to the complement (farthest) switch.  Groups
+/// are themselves wired as an incomplete 3-cube over labels 0..5 (plus the
+/// complement pairs (2,5) and (3,4)) through "equivalent" switches, and the
+/// remaining two switches form an extra group attached to groups 0 and 1.
+/// The paper notes the real machine is "not completely regular"; this
+/// follows the paper's description where it is explicit and fills the gaps
+/// symmetrically (see DESIGN.md).
+Topology make_cplant();
+
+/// n-dimensional hypercube (2^n switches), used by unit tests.
+Topology make_hypercube(int dims, int hosts_per_switch, int ports_per_switch);
+
+/// General k-ary n-cube: k^n switches, each connected to its +1/-1
+/// neighbour (mod k) in every dimension.  k == 2 collapses both
+/// directions onto a single cable per dimension (a hypercube); the 2-D
+/// torus of the paper is the k=8, n=2 member.  Extension experiments use
+/// the 3-D torus (k=4, n=3: 64 switches, like the paper's networks).
+Topology make_kary_ncube(int k, int n, int hosts_per_switch,
+                         int ports_per_switch = 16);
+
+/// 2-D mesh without wrap-around, used by unit tests.
+Topology make_mesh_2d(int rows, int cols, int hosts_per_switch,
+                      int ports_per_switch = 16);
+
+/// Random connected irregular network in the style of the authors' earlier
+/// NOW papers: each switch devotes at most `max_switch_ports` ports to other
+/// switches; cables are added uniformly at random subject to port limits and
+/// no parallel cables, then connectivity is repaired by joining components.
+Topology make_irregular(int num_switches, int hosts_per_switch,
+                        int max_switch_ports, Rng& rng,
+                        int ports_per_switch = 16);
+
+}  // namespace itb

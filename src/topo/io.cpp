@@ -1,0 +1,180 @@
+#include "topo/io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace itb {
+
+namespace {
+
+// Split a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok.front() == '#') break;
+    out.push_back(tok);
+  }
+  return out;
+}
+
+int parse_int(const std::string& tok, int line, const char* what) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(tok, &used);
+    if (used != tok.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw TopologyParseError(line, std::string("bad integer for ") + what +
+                                       ": '" + tok + "'");
+  }
+}
+
+double parse_double(const std::string& tok, int line, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw TopologyParseError(line, std::string("bad number for ") + what +
+                                       ": '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+Topology parse_topology(std::istream& in) {
+  std::optional<Topology> topo;
+  std::string name = "custom";
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto tok = tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& kind = tok[0];
+
+    if (kind == "topology") {
+      if (tok.size() != 2) {
+        throw TopologyParseError(lineno, "topology expects: topology <name>");
+      }
+      name = tok[1];
+      if (topo) throw TopologyParseError(lineno, "topology after switches");
+    } else if (kind == "switches") {
+      if (tok.size() != 3) {
+        throw TopologyParseError(lineno,
+                                 "switches expects: switches <count> <ports>");
+      }
+      if (topo) throw TopologyParseError(lineno, "duplicate switches line");
+      const int count = parse_int(tok[1], lineno, "switch count");
+      const int ports = parse_int(tok[2], lineno, "port count");
+      if (count <= 0 || ports <= 0) {
+        throw TopologyParseError(lineno, "switches/ports must be positive");
+      }
+      topo.emplace(count, ports, name);
+    } else if (kind == "cable") {
+      if (!topo) throw TopologyParseError(lineno, "cable before switches");
+      if (tok.size() != 5 && tok.size() != 6) {
+        throw TopologyParseError(
+            lineno, "cable expects: cable <a> <pa> <b> <pb> [length]");
+      }
+      const int a = parse_int(tok[1], lineno, "switch a");
+      const int pa = parse_int(tok[2], lineno, "port a");
+      const int b = parse_int(tok[3], lineno, "switch b");
+      const int pb = parse_int(tok[4], lineno, "port b");
+      const double len =
+          tok.size() == 6 ? parse_double(tok[5], lineno, "length") : 10.0;
+      try {
+        topo->connect(a, static_cast<PortId>(pa), b, static_cast<PortId>(pb),
+                      len);
+      } catch (const std::exception& e) {
+        throw TopologyParseError(lineno, e.what());
+      }
+    } else if (kind == "host") {
+      if (!topo) throw TopologyParseError(lineno, "host before switches");
+      if (tok.size() != 3 && tok.size() != 4) {
+        throw TopologyParseError(lineno,
+                                 "host expects: host <switch> <port> [length]");
+      }
+      const int sw = parse_int(tok[1], lineno, "switch");
+      const int port = parse_int(tok[2], lineno, "port");
+      const double len =
+          tok.size() == 4 ? parse_double(tok[3], lineno, "length") : 10.0;
+      try {
+        topo->attach_host(sw, static_cast<PortId>(port), len);
+      } catch (const std::exception& e) {
+        throw TopologyParseError(lineno, e.what());
+      }
+    } else if (kind == "pos") {
+      if (!topo) throw TopologyParseError(lineno, "pos before switches");
+      if (tok.size() != 4) {
+        throw TopologyParseError(lineno, "pos expects: pos <switch> <x> <y>");
+      }
+      const int sw = parse_int(tok[1], lineno, "switch");
+      if (sw < 0 || sw >= topo->num_switches()) {
+        throw TopologyParseError(lineno, "pos switch out of range");
+      }
+      topo->set_pos(sw, parse_int(tok[2], lineno, "x"),
+                    parse_int(tok[3], lineno, "y"));
+    } else {
+      throw TopologyParseError(lineno, "unknown directive '" + kind + "'");
+    }
+  }
+  if (!topo) throw TopologyParseError(lineno, "missing switches line");
+  return std::move(*topo);
+}
+
+Topology parse_topology_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_topology(is);
+}
+
+Topology load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("load_topology: cannot read " + path);
+  }
+  return parse_topology(in);
+}
+
+std::string serialize_topology(const Topology& topo) {
+  std::ostringstream os;
+  os << "topology " << topo.name() << "\n";
+  os << "switches " << topo.num_switches() << " " << topo.ports_per_switch()
+     << "\n";
+  for (CableId c = 0; c < topo.num_cables(); ++c) {
+    const Cable& cb = topo.cable(c);
+    if (cb.to_host()) continue;  // emitted as host lines below, in order
+    os << "cable " << cb.a.sw << " " << cb.a.port << " " << cb.b.sw << " "
+       << cb.b.port;
+    if (cb.length_m != 10.0) os << " " << cb.length_m;
+    os << "\n";
+  }
+  for (HostId h = 0; h < topo.num_hosts(); ++h) {
+    const HostAttachment& at = topo.host(h);
+    os << "host " << at.sw << " " << at.port;
+    const double len = topo.cable(at.cable).length_m;
+    if (len != 10.0) os << " " << len;
+    os << "\n";
+  }
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    const SwitchPos p = topo.pos(s);
+    if (p.x != 0 || p.y != 0) {
+      os << "pos " << s << " " << p.x << " " << p.y << "\n";
+    }
+  }
+  return os.str();
+}
+
+void save_topology(const Topology& topo, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    throw std::runtime_error("save_topology: cannot write " + path);
+  }
+  out << serialize_topology(topo);
+}
+
+}  // namespace itb

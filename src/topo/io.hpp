@@ -1,0 +1,54 @@
+// Plain-text serialisation of topologies, in the spirit of Myrinet map
+// files: a network is fully described by its switches, cables and host
+// attachments, so clusters can be described in a file and loaded by the
+// examples/CLI instead of being hard-coded.
+//
+// Format (one directive per line, '#' starts a comment):
+//
+//   topology <name>
+//   switches <count> <ports-per-switch>
+//   cable <switch-a> <port-a> <switch-b> <port-b> [length-m]
+//   host <switch> <port> [length-m]
+//   pos <switch> <x> <y>
+//
+// `switches` must precede any cable/host/pos line.  Hosts are numbered in
+// file order (matching Topology's dense ids).
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace itb {
+
+/// Parse failure: carries the 1-based line number and a reason.
+class TopologyParseError : public std::runtime_error {
+ public:
+  TopologyParseError(int line, const std::string& reason)
+      : std::runtime_error("line " + std::to_string(line) + ": " + reason),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse a topology from a stream / string.  Throws TopologyParseError on
+/// malformed input and std::invalid_argument on semantically invalid
+/// wiring (double-used ports etc., surfaced from Topology).
+[[nodiscard]] Topology parse_topology(std::istream& in);
+[[nodiscard]] Topology parse_topology_string(const std::string& text);
+
+/// Load from a file; throws std::runtime_error when unreadable.
+[[nodiscard]] Topology load_topology(const std::string& path);
+
+/// Serialise; parse_topology_string(serialize_topology(t)) reproduces the
+/// topology exactly (names, cables, host order, positions).
+[[nodiscard]] std::string serialize_topology(const Topology& topo);
+
+/// Write to a file; throws std::runtime_error when unwritable.
+void save_topology(const Topology& topo, const std::string& path);
+
+}  // namespace itb

@@ -1,0 +1,253 @@
+#include "topo/topology.hpp"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+namespace itb {
+
+namespace {
+std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+Topology::Topology(int num_switches, int ports_per_switch, std::string name)
+    : name_(std::move(name)), ports_per_switch_(ports_per_switch) {
+  if (num_switches <= 0 || ports_per_switch <= 0) {
+    throw std::invalid_argument("Topology: sizes must be positive");
+  }
+  ports_.assign(idx(num_switches),
+                std::vector<PortPeer>(idx(ports_per_switch)));
+  pos_.assign(idx(num_switches), SwitchPos{});
+}
+
+PortPeer& Topology::peer_mut(SwitchId s, PortId p) {
+  if (s < 0 || s >= num_switches() || p < 0 || p >= ports_per_switch_) {
+    throw std::out_of_range("Topology: bad switch/port");
+  }
+  return ports_[idx(s)][idx(p)];
+}
+
+const PortPeer& Topology::peer(SwitchId s, PortId p) const {
+  return const_cast<Topology*>(this)->peer_mut(s, p);
+}
+
+CableId Topology::connect(SwitchId a, PortId pa, SwitchId b, PortId pb,
+                          double length_m) {
+  PortPeer& ea = peer_mut(a, pa);
+  PortPeer& eb = peer_mut(b, pb);
+  if (ea.kind != PeerKind::kNone || eb.kind != PeerKind::kNone) {
+    throw std::invalid_argument("Topology::connect: port already in use");
+  }
+  if (a == b && pa == pb) {
+    throw std::invalid_argument("Topology::connect: self-loop on one port");
+  }
+  const auto id = static_cast<CableId>(cables_.size());
+  cables_.push_back(Cable{{a, pa}, {b, pb}, kNoHost, length_m});
+  ea = PortPeer{PeerKind::kSwitch, b, pb, kNoHost, id};
+  eb = PortPeer{PeerKind::kSwitch, a, pa, kNoHost, id};
+  return id;
+}
+
+CableId Topology::connect_auto(SwitchId a, SwitchId b, double length_m) {
+  const PortId pa = first_free_port(a);
+  // Reserve pa mentally before searching b: distinct switches cannot clash,
+  // and self-cables (a == b) need two distinct free ports.
+  PortId pb = first_free_port(b);
+  if (a == b && pb == pa) {
+    // find the next free port after pa
+    pb = kNoPort;
+    for (PortId p = static_cast<PortId>(pa + 1); p < ports_per_switch_; ++p) {
+      if (peer(b, p).kind == PeerKind::kNone) {
+        pb = p;
+        break;
+      }
+    }
+  }
+  if (pa == kNoPort || pb == kNoPort) {
+    throw std::invalid_argument("Topology::connect_auto: no free port");
+  }
+  return connect(a, pa, b, pb, length_m);
+}
+
+HostId Topology::attach_host(SwitchId sw, PortId port, double length_m) {
+  PortPeer& e = peer_mut(sw, port);
+  if (e.kind != PeerKind::kNone) {
+    throw std::invalid_argument("Topology::attach_host: port already in use");
+  }
+  const auto h = static_cast<HostId>(hosts_.size());
+  const auto id = static_cast<CableId>(cables_.size());
+  cables_.push_back(Cable{{sw, port}, {}, h, length_m});
+  hosts_.push_back(HostAttachment{sw, port, id});
+  e = PortPeer{PeerKind::kHost, kNoSwitch, kNoPort, h, id};
+  return h;
+}
+
+void Topology::attach_hosts(SwitchId sw, int n, double length_m) {
+  for (int i = 0; i < n; ++i) {
+    const PortId p = first_free_port(sw);
+    if (p == kNoPort) {
+      throw std::invalid_argument("Topology::attach_hosts: no free port");
+    }
+    attach_host(sw, p, length_m);
+  }
+}
+
+void Topology::set_pos(SwitchId s, int x, int y) {
+  pos_[idx(s)] = SwitchPos{x, y};
+}
+
+PortId Topology::first_free_port(SwitchId s) const {
+  for (PortId p = 0; p < ports_per_switch_; ++p) {
+    if (peer(s, p).kind == PeerKind::kNone) return p;
+  }
+  return kNoPort;
+}
+
+int Topology::free_ports(SwitchId s) const {
+  int n = 0;
+  for (PortId p = 0; p < ports_per_switch_; ++p) {
+    if (peer(s, p).kind == PeerKind::kNone) ++n;
+  }
+  return n;
+}
+
+int Topology::switch_degree(SwitchId s) const {
+  int n = 0;
+  for (PortId p = 0; p < ports_per_switch_; ++p) {
+    if (peer(s, p).kind == PeerKind::kSwitch) ++n;
+  }
+  return n;
+}
+
+std::vector<HostId> Topology::hosts_of_switch(SwitchId s) const {
+  std::vector<HostId> out;
+  for (PortId p = 0; p < ports_per_switch_; ++p) {
+    if (peer(s, p).kind == PeerKind::kHost) out.push_back(peer(s, p).host);
+  }
+  return out;
+}
+
+std::vector<PortId> Topology::switch_ports_of(SwitchId s) const {
+  std::vector<PortId> out;
+  for (PortId p = 0; p < ports_per_switch_; ++p) {
+    if (peer(s, p).kind == PeerKind::kSwitch) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<SwitchId> Topology::switch_neighbors(SwitchId s) const {
+  std::vector<SwitchId> out;
+  for (PortId p = 0; p < ports_per_switch_; ++p) {
+    if (peer(s, p).kind == PeerKind::kSwitch) out.push_back(peer(s, p).sw);
+  }
+  return out;
+}
+
+PortId Topology::port_towards(SwitchId from, CableId c) const {
+  const Cable& cb = cable(c);
+  if (cb.to_host()) throw std::invalid_argument("port_towards: host cable");
+  if (cb.a.sw == from) return cb.a.port;
+  if (cb.b.sw == from) return cb.b.port;
+  throw std::invalid_argument("port_towards: cable not incident to switch");
+}
+
+ChannelId Topology::channel_from_switch(SwitchId from, CableId c) const {
+  const Cable& cb = cable(c);
+  if (cb.a.sw == from) return channel_from(c, true);
+  if (!cb.to_host() && cb.b.sw == from) return channel_from(c, false);
+  throw std::invalid_argument("channel_from_switch: not incident");
+}
+
+std::vector<int> Topology::switch_distances_from(SwitchId src) const {
+  std::vector<int> dist(idx(num_switches()), -1);
+  std::deque<SwitchId> q;
+  dist[idx(src)] = 0;
+  q.push_back(src);
+  while (!q.empty()) {
+    const SwitchId u = q.front();
+    q.pop_front();
+    for (PortId p = 0; p < ports_per_switch_; ++p) {
+      const PortPeer& e = peer(u, p);
+      if (e.kind != PeerKind::kSwitch) continue;
+      if (dist[idx(e.sw)] == -1) {
+        dist[idx(e.sw)] = dist[idx(u)] + 1;
+        q.push_back(e.sw);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> Topology::all_switch_distances() const {
+  const auto n = idx(num_switches());
+  std::vector<int> out(n * n, -1);
+  for (SwitchId s = 0; s < num_switches(); ++s) {
+    const auto row = switch_distances_from(s);
+    for (std::size_t j = 0; j < n; ++j) out[idx(s) * n + j] = row[j];
+  }
+  return out;
+}
+
+bool Topology::connected() const {
+  const auto dist = switch_distances_from(0);
+  for (const int d : dist) {
+    if (d < 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Topology::validate() const {
+  std::vector<std::string> problems;
+  auto complain = [&](std::string msg) { problems.push_back(std::move(msg)); };
+
+  for (CableId c = 0; c < num_cables(); ++c) {
+    const Cable& cb = cable(c);
+    const PortPeer& ea = peer(cb.a.sw, cb.a.port);
+    if (ea.cable != c) {
+      complain("cable " + std::to_string(c) + ": A-side port table mismatch");
+    }
+    if (cb.to_host()) {
+      if (ea.kind != PeerKind::kHost || ea.host != cb.host) {
+        complain("cable " + std::to_string(c) + ": host peer mismatch");
+      }
+      const HostAttachment& ha = host(cb.host);
+      if (ha.sw != cb.a.sw || ha.port != cb.a.port || ha.cable != c) {
+        complain("host " + std::to_string(cb.host) + ": attachment mismatch");
+      }
+    } else {
+      const PortPeer& eb = peer(cb.b.sw, cb.b.port);
+      if (ea.kind != PeerKind::kSwitch || ea.sw != cb.b.sw ||
+          ea.port != cb.b.port) {
+        complain("cable " + std::to_string(c) + ": A-side peer mismatch");
+      }
+      if (eb.kind != PeerKind::kSwitch || eb.sw != cb.a.sw ||
+          eb.port != cb.a.port || eb.cable != c) {
+        complain("cable " + std::to_string(c) + ": B-side peer mismatch");
+      }
+    }
+  }
+
+  // Every in-use port must be claimed by exactly the cable it names.
+  for (SwitchId s = 0; s < num_switches(); ++s) {
+    for (PortId p = 0; p < ports_per_switch_; ++p) {
+      const PortPeer& e = peer(s, p);
+      if (e.kind == PeerKind::kNone) continue;
+      if (e.cable < 0 || e.cable >= num_cables()) {
+        complain("switch " + std::to_string(s) + " port " + std::to_string(p) +
+                 ": dangling cable id");
+        continue;
+      }
+      const Cable& cb = cable(e.cable);
+      const bool matches_a = cb.a.sw == s && cb.a.port == p;
+      const bool matches_b = !cb.to_host() && cb.b.sw == s && cb.b.port == p;
+      if (!matches_a && !matches_b) {
+        complain("switch " + std::to_string(s) + " port " + std::to_string(p) +
+                 ": cable does not terminate here");
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace itb

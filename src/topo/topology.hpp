@@ -1,0 +1,154 @@
+// Port-level network topology: switches with numbered ports, full-duplex
+// cables between switch ports, and hosts attached to switch ports.
+//
+// This is the substrate every other layer consumes:
+//  * the routing layer sees the switch-level graph (adjacency + distances),
+//  * the network model sees cables/channels with physical lengths,
+//  * source-route headers are sequences of *output port numbers*, exactly as
+//    in Myrinet, so the port-level detail is load-bearing, not cosmetic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/types.hpp"
+
+namespace itb {
+
+/// One end of a cable: a switch port or a host.
+struct PortRef {
+  SwitchId sw = kNoSwitch;
+  PortId port = kNoPort;
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+/// A full-duplex cable.  Either switch<->switch (host == kNoHost) or
+/// switch<->host (b is unused, host holds the host id).
+struct Cable {
+  PortRef a;                  // always a switch port
+  PortRef b;                  // valid iff host == kNoHost
+  HostId host = kNoHost;      // valid iff this is a host cable
+  double length_m = 10.0;     // paper: short LAN cables, 10 m
+
+  [[nodiscard]] bool to_host() const { return host != kNoHost; }
+};
+
+/// What a given switch port is connected to.
+struct PortPeer {
+  PeerKind kind = PeerKind::kNone;
+  SwitchId sw = kNoSwitch;   // valid when kind == kSwitch
+  PortId port = kNoPort;     // valid when kind == kSwitch
+  HostId host = kNoHost;     // valid when kind == kHost
+  CableId cable = kNoCable;  // valid unless kind == kNone
+};
+
+/// Host attachment point.
+struct HostAttachment {
+  SwitchId sw = kNoSwitch;
+  PortId port = kNoPort;
+  CableId cable = kNoCable;
+};
+
+/// Optional 2-D placement of a switch, used by the link-utilization map
+/// reports (paper Figures 8, 9 and 11).
+struct SwitchPos {
+  int x = 0;
+  int y = 0;
+};
+
+class Topology {
+ public:
+  /// Creates `num_switches` switches, each with `ports_per_switch` ports,
+  /// and no cables.
+  Topology(int num_switches, int ports_per_switch, std::string name = "custom");
+
+  // -- construction -------------------------------------------------------
+
+  /// Connect two switch ports with a cable.  Both ports must be free.
+  CableId connect(SwitchId a, PortId pa, SwitchId b, PortId pb,
+                  double length_m = 10.0);
+
+  /// Connect two switches using their lowest-numbered free ports.
+  CableId connect_auto(SwitchId a, SwitchId b, double length_m = 10.0);
+
+  /// Attach a new host to the given switch port; returns its HostId
+  /// (assigned densely in attachment order).
+  HostId attach_host(SwitchId sw, PortId port, double length_m = 10.0);
+
+  /// Attach `n` hosts to a switch using its lowest-numbered free ports.
+  void attach_hosts(SwitchId sw, int n, double length_m = 10.0);
+
+  void set_pos(SwitchId s, int x, int y);
+
+  // -- queries ------------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int num_switches() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] int ports_per_switch() const { return ports_per_switch_; }
+  [[nodiscard]] int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  [[nodiscard]] int num_cables() const { return static_cast<int>(cables_.size()); }
+  [[nodiscard]] int num_channels() const { return 2 * num_cables(); }
+
+  [[nodiscard]] const PortPeer& peer(SwitchId s, PortId p) const;
+  [[nodiscard]] const Cable& cable(CableId c) const { return cables_[static_cast<std::size_t>(c)]; }
+  [[nodiscard]] const HostAttachment& host(HostId h) const { return hosts_[static_cast<std::size_t>(h)]; }
+  [[nodiscard]] SwitchPos pos(SwitchId s) const { return pos_[static_cast<std::size_t>(s)]; }
+
+  /// Lowest-numbered free port of a switch, or kNoPort.
+  [[nodiscard]] PortId first_free_port(SwitchId s) const;
+  [[nodiscard]] int free_ports(SwitchId s) const;
+
+  /// Number of switch-to-switch cables incident to `s`.
+  [[nodiscard]] int switch_degree(SwitchId s) const;
+
+  /// Hosts attached to switch `s`, in port order.
+  [[nodiscard]] std::vector<HostId> hosts_of_switch(SwitchId s) const;
+
+  /// Ports of `s` leading to other switches, in port order.
+  [[nodiscard]] std::vector<PortId> switch_ports_of(SwitchId s) const;
+
+  /// Neighbouring switches of `s` (one entry per cable, so parallel cables
+  /// appear multiple times), in port order.
+  [[nodiscard]] std::vector<SwitchId> switch_neighbors(SwitchId s) const;
+
+  /// The output port of `from` for a given cable (which must be incident to
+  /// `from` and lead to a switch).
+  [[nodiscard]] PortId port_towards(SwitchId from, CableId c) const;
+
+  /// BFS hop distances over the switch graph from `src` (-1 if unreachable).
+  [[nodiscard]] std::vector<int> switch_distances_from(SwitchId src) const;
+
+  /// All-pairs switch distances (num_switches x num_switches, row-major).
+  [[nodiscard]] std::vector<int> all_switch_distances() const;
+
+  /// True if the switch graph is connected (ignoring hosts).
+  [[nodiscard]] bool connected() const;
+
+  /// Structural invariant check: consistent port tables, every host port
+  /// matches its attachment, every cable's endpoints point back at it.
+  /// Returns a list of human-readable problems (empty when valid).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Directed channel id for cable `c` leaving switch-side endpoint `from`.
+  /// For a host cable, `from_host == true` selects the host->switch channel.
+  [[nodiscard]] ChannelId channel_from(CableId c, bool from_a) const {
+    return 2 * c + (from_a ? 0 : 1);
+  }
+
+  /// Directed channel from switch `from` across cable `c` (which must be a
+  /// switch-to-switch cable incident to `from`).
+  [[nodiscard]] ChannelId channel_from_switch(SwitchId from, CableId c) const;
+
+ private:
+  PortPeer& peer_mut(SwitchId s, PortId p);
+
+  std::string name_;
+  int ports_per_switch_;
+  std::vector<std::vector<PortPeer>> ports_;  // [switch][port]
+  std::vector<Cable> cables_;
+  std::vector<HostAttachment> hosts_;
+  std::vector<SwitchPos> pos_;
+};
+
+}  // namespace itb

@@ -1,0 +1,33 @@
+// Identifier types shared across the topology, routing and network layers.
+#pragma once
+
+#include <cstdint>
+
+namespace itb {
+
+/// Index of a switch within a Topology, in [0, num_switches).
+using SwitchId = std::int32_t;
+
+/// Index of a host within a Topology, in [0, num_hosts).
+using HostId = std::int32_t;
+
+/// Port number on a switch, in [0, ports_per_switch).  Myrinet switches in
+/// the paper have 16 ports.
+using PortId = std::int16_t;
+
+/// Index of a full-duplex cable within a Topology.
+using CableId = std::int32_t;
+
+/// Index of one *unidirectional* channel.  Cable c contributes channels
+/// 2c (A-side to B-side) and 2c+1 (B-side to A-side).
+using ChannelId = std::int32_t;
+
+inline constexpr SwitchId kNoSwitch = -1;
+inline constexpr HostId kNoHost = -1;
+inline constexpr PortId kNoPort = -1;
+inline constexpr CableId kNoCable = -1;
+
+/// What is plugged into a switch port.
+enum class PeerKind : std::uint8_t { kNone, kSwitch, kHost };
+
+}  // namespace itb

@@ -1,0 +1,66 @@
+#include "traffic/generator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace itb {
+
+TrafficGenerator::TrafficGenerator(Simulator& sim, Network& net,
+                                   const DestinationPattern& pattern,
+                                   TrafficConfig cfg)
+    : sim_(&sim), net_(&net), pattern_(&pattern), cfg_(cfg) {
+  if (cfg_.load_flits_per_ns_per_switch <= 0.0 || cfg_.payload_bytes <= 0) {
+    throw std::invalid_argument("TrafficGenerator: bad load/payload");
+  }
+  const auto& topo = net.topology();
+  // load [flits/ns/switch] * switches = network flits/ns; divide across
+  // hosts; a host then emits payload_bytes flits every `interval`.
+  const double per_host_flits_per_ns =
+      cfg_.load_flits_per_ns_per_switch *
+      static_cast<double>(topo.num_switches()) /
+      static_cast<double>(topo.num_hosts());
+  interval_ = static_cast<TimePs>(
+      static_cast<double>(cfg_.payload_bytes) / per_host_flits_per_ns *
+          1000.0 +
+      0.5);
+  assert(interval_ > 0);
+
+  Rng seeder(cfg_.seed);
+  host_rng_.reserve(static_cast<std::size_t>(topo.num_hosts()));
+  for (HostId h = 0; h < topo.num_hosts(); ++h) {
+    host_rng_.push_back(seeder.fork(static_cast<std::uint64_t>(h)));
+  }
+}
+
+void TrafficGenerator::start() {
+  const auto& topo = net_->topology();
+  for (HostId h = 0; h < topo.num_hosts(); ++h) {
+    const auto phase = static_cast<TimePs>(host_rng_[static_cast<std::size_t>(h)]
+                                               .next_below(static_cast<std::uint64_t>(interval_)));
+    sim_->schedule_in(phase, [this, h] { host_tick(h); });
+  }
+}
+
+void TrafficGenerator::host_tick(HostId h) {
+  if (stopped_) return;
+  Rng& rng = host_rng_[static_cast<std::size_t>(h)];
+  const HostId dst = pattern_->pick(h, rng);
+  if (dst != kNoHost) {
+    net_->inject(h, dst, cfg_.payload_bytes);
+    ++generated_;
+    if (tap_) tap_(sim_->now(), h, dst, cfg_.payload_bytes);
+  }
+  schedule_next(h);
+}
+
+void TrafficGenerator::schedule_next(HostId h) {
+  TimePs delay = interval_;
+  if (cfg_.poisson) {
+    delay = static_cast<TimePs>(host_rng_[static_cast<std::size_t>(h)]
+                                    .next_exponential(static_cast<double>(interval_)));
+    if (delay < 1) delay = 1;
+  }
+  sim_->schedule_in(delay, [this, h] { host_tick(h); });
+}
+
+}  // namespace itb

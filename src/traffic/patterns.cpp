@@ -1,0 +1,102 @@
+#include "traffic/patterns.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace itb {
+
+namespace {
+std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
+
+bool is_power_of_two(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int log2_exact(int v) {
+  int b = 0;
+  while ((1 << b) < v) ++b;
+  return b;
+}
+}  // namespace
+
+HostId UniformPattern::pick(HostId src, Rng& rng) const {
+  assert(num_hosts_ >= 2);
+  // Draw from the other N-1 hosts without rejection.
+  const auto r = static_cast<HostId>(
+      rng.next_below(static_cast<std::uint64_t>(num_hosts_ - 1)));
+  return r >= src ? r + 1 : r;
+}
+
+BitReversalPattern::BitReversalPattern(int num_hosts)
+    : num_hosts_(num_hosts), bits_(log2_exact(num_hosts)) {
+  if (!is_power_of_two(num_hosts)) {
+    throw std::invalid_argument(
+        "BitReversalPattern: host count must be a power of two");
+  }
+}
+
+HostId BitReversalPattern::pick(HostId src, Rng& /*rng*/) const {
+  unsigned v = static_cast<unsigned>(src);
+  unsigned out = 0;
+  for (int b = 0; b < bits_; ++b) {
+    out = (out << 1) | (v & 1u);
+    v >>= 1;
+  }
+  const auto dst = static_cast<HostId>(out);
+  return dst == src ? kNoHost : dst;  // fixed points generate no traffic
+}
+
+HotspotPattern::HotspotPattern(int num_hosts, HostId hotspot, double fraction)
+    : num_hosts_(num_hosts), hotspot_(hotspot), fraction_(fraction) {
+  if (hotspot < 0 || hotspot >= num_hosts) {
+    throw std::invalid_argument("HotspotPattern: hotspot out of range");
+  }
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("HotspotPattern: fraction out of range");
+  }
+}
+
+HostId HotspotPattern::pick(HostId src, Rng& rng) const {
+  if (src != hotspot_ && rng.next_bool(fraction_)) return hotspot_;
+  const auto r = static_cast<HostId>(
+      rng.next_below(static_cast<std::uint64_t>(num_hosts_ - 1)));
+  return r >= src ? r + 1 : r;
+}
+
+LocalPattern::LocalPattern(const Topology& topo, int max_switch_distance) {
+  candidates_.resize(idx(topo.num_switches()));
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    const auto dist = topo.switch_distances_from(s);
+    for (SwitchId d = 0; d < topo.num_switches(); ++d) {
+      if (dist[idx(d)] < 0 || dist[idx(d)] > max_switch_distance) continue;
+      for (const HostId h : topo.hosts_of_switch(d)) {
+        candidates_[idx(s)].push_back(h);
+      }
+    }
+  }
+  // Remember host attachments so pick() can exclude the source.
+  src_switch_.resize(idx(topo.num_hosts()));
+  for (HostId h = 0; h < topo.num_hosts(); ++h) {
+    src_switch_[idx(h)] = topo.host(h).sw;
+  }
+}
+
+HostId LocalPattern::pick(HostId src, Rng& rng) const {
+  const auto& cands = candidates_[idx(src_switch_[idx(src)])];
+  assert(cands.size() >= 2);
+  for (;;) {
+    const HostId h =
+        cands[rng.next_below(static_cast<std::uint64_t>(cands.size()))];
+    if (h != src) return h;
+  }
+}
+
+PermutationPattern::PermutationPattern(std::vector<HostId> dest_of_src,
+                                       std::string label)
+    : dest_(std::move(dest_of_src)), label_(std::move(label)) {}
+
+HostId PermutationPattern::pick(HostId src, Rng& /*rng*/) const {
+  const HostId d = dest_[idx(src)];
+  return d == src ? kNoHost : d;
+}
+
+}  // namespace itb

@@ -1,0 +1,210 @@
+// Analytical cross-checks: the closed-form zero-load latency model must
+// match the simulator flit for flit, and the static bottleneck bound must
+// dominate and order the measured saturation throughputs.
+#include <gtest/gtest.h>
+
+#include "analysis/channel_load.hpp"
+#include "analysis/zero_load.hpp"
+#include "core/route_builder.hpp"
+#include "harness/runner.hpp"
+#include "harness/testbed.hpp"
+#include "net/network.hpp"
+#include "route/simple_routes.hpp"
+#include "sim/simulator.hpp"
+#include "topo/generators.hpp"
+#include "traffic/patterns.hpp"
+
+namespace itb {
+namespace {
+
+struct Capture {
+  std::vector<DeliveryRecord> records;
+  void attach(Network& net) {
+    net.set_delivery_callback(
+        [this](const DeliveryRecord& r) { records.push_back(r); });
+  }
+};
+
+// Simulate one packet over `route_src` -> `route_dst` hosts and compare
+// with the model.  Requires an idle network and chunk = 1.
+void check_pair(const Topology& topo, const RouteSet& routes, HostId src,
+                HostId dst, int payload) {
+  MyrinetParams params;
+  params.chunk_flits = 1;
+  Simulator sim;
+  Network net(sim, topo, routes, params, PathPolicy::kSingle);
+  Capture cap;
+  cap.attach(net);
+  net.inject(src, dst, payload);
+  sim.run_until(ms(5));
+  ASSERT_EQ(cap.records.size(), 1u) << src << "->" << dst;
+  const Route& route =
+      routes.alternatives(topo.host(src).sw, topo.host(dst).sw).front();
+  const TimePs predicted = zero_load_latency(topo, route, payload, params);
+  EXPECT_EQ(cap.records[0].deliver_time - cap.records[0].inject_time,
+            predicted)
+      << src << "->" << dst << " payload " << payload;
+}
+
+TEST(ZeroLoad, MatchesSimulatorOnTorusUpdown) {
+  const Topology topo = make_torus_2d(4, 4, 2);
+  const UpDown ud(topo, 0);
+  const RouteSet routes = build_updown_routes(topo, SimpleRoutes(topo, ud));
+  for (const auto& [s, d] : std::vector<std::pair<HostId, HostId>>{
+           {0, 1}, {0, 31}, {5, 26}, {12, 19}, {30, 2}}) {
+    check_pair(topo, routes, s, d, 512);
+  }
+}
+
+TEST(ZeroLoad, MatchesSimulatorOnTorusItbRoutes) {
+  const Topology topo = make_torus_2d(8, 8, 2);
+  const UpDown ud(topo, 0);
+  const RouteSet routes = build_itb_routes(topo, ud);
+  // Sample pairs; several will involve in-transit hosts.
+  int itb_pairs_checked = 0;
+  for (HostId s = 0; s < 128; s += 17) {
+    for (HostId d = 3; d < 128; d += 29) {
+      if (s == d || topo.host(s).sw == topo.host(d).sw) continue;
+      check_pair(topo, routes, s, d, 512);
+      if (routes.alternatives(topo.host(s).sw, topo.host(d).sw)
+              .front()
+              .num_itbs() > 0) {
+        ++itb_pairs_checked;
+      }
+    }
+  }
+  EXPECT_GT(itb_pairs_checked, 3)
+      << "sample must include in-transit routes for the test to bite";
+}
+
+TEST(ZeroLoad, MatchesSimulatorOnExpressTorus) {
+  const Topology topo = make_torus_2d_express(8, 8, 2);
+  const UpDown ud(topo, 0);
+  const RouteSet routes = build_itb_routes(topo, ud);
+  for (const auto& [s, d] : std::vector<std::pair<HostId, HostId>>{
+           {0, 127}, {3, 66}, {40, 90}, {111, 22}}) {
+    check_pair(topo, routes, s, d, 512);
+  }
+}
+
+TEST(ZeroLoad, MatchesSimulatorOnCplant) {
+  const Topology topo = make_cplant();
+  const UpDown ud(topo, 0);
+  const RouteSet routes = build_itb_routes(topo, ud);
+  for (const auto& [s, d] : std::vector<std::pair<HostId, HostId>>{
+           {0, 399}, {10, 250}, {100, 300}, {350, 17}}) {
+    check_pair(topo, routes, s, d, 512);
+  }
+}
+
+TEST(ZeroLoad, PayloadVariants) {
+  const Topology topo = make_torus_2d(4, 4, 2);
+  const UpDown ud(topo, 0);
+  const RouteSet routes = build_itb_routes(topo, ud);
+  for (const int payload : {32, 512, 1024}) {
+    check_pair(topo, routes, 0, 27, payload);
+  }
+}
+
+TEST(ZeroLoad, AverageIsWeightedAndPositive) {
+  const Topology topo = make_torus_2d(4, 4, 2);
+  const UpDown ud(topo, 0);
+  const RouteSet ud_routes = build_updown_routes(topo, SimpleRoutes(topo, ud));
+  const RouteSet itb_routes = build_itb_routes(topo, ud);
+  MyrinetParams params;
+  const double avg_ud =
+      average_zero_load_latency_ns(topo, ud_routes, 512, params);
+  const double avg_itb =
+      average_zero_load_latency_ns(topo, itb_routes, 512, params);
+  EXPECT_GT(avg_ud, 3000.0);
+  EXPECT_LT(avg_ud, 10000.0);
+  // ITB routes are shorter on average but pay the in-transit overhead;
+  // both averages must be in the same ballpark.
+  EXPECT_NEAR(avg_itb, avg_ud, 1500.0);
+}
+
+TEST(ChannelLoad, UniformTorusBasics) {
+  const Topology topo = make_torus_2d(8, 8, 8);
+  const UpDown ud(topo, 0);
+  const RouteSet itb = build_itb_routes(topo, ud);
+  UniformPattern pattern(topo.num_hosts());
+  const auto model = compute_channel_load(topo, itb, PathPolicy::kRoundRobin,
+                                          pattern, 1, 100000);
+  // Expected hops match the average minimal distance over sampled pairs:
+  // 4.06 over distinct-switch pairs, shaved slightly by same-switch pairs
+  // (hosts are uniform, so ~1.4% of messages stay on their switch).
+  EXPECT_NEAR(model.expected_hops, 4.06 * 504.0 / 511.0, 0.1);
+  // Expected ITBs per *packet* sit between the alternative-0 mean and the
+  // route-weighted all-alternatives mean (pairs with many alternatives
+  // contribute more routes to the latter than traffic to the former).
+  const auto sp_model = compute_channel_load(topo, itb, PathPolicy::kSingle,
+                                             pattern, 1, 100000);
+  EXPECT_GT(model.expected_itbs, sp_model.expected_itbs);
+  EXPECT_GT(model.expected_itbs, 0.40);
+  EXPECT_LT(model.expected_itbs, 0.70);
+  EXPECT_GT(model.throughput_bound, 0.0);
+  EXPECT_GE(model.bottleneck, 0);
+}
+
+TEST(ChannelLoad, BoundDominatesMeasuredSaturation) {
+  Testbed tb(make_torus_2d(8, 8, 8));
+  UniformPattern pattern(tb.topo().num_hosts());
+  for (const RoutingScheme scheme :
+       {RoutingScheme::kUpDown, RoutingScheme::kItbRr}) {
+    const auto model =
+        compute_channel_load(tb.topo(), tb.routes(scheme), policy_of(scheme),
+                             pattern, 1, 100000);
+    RunConfig cfg;
+    cfg.warmup = us(100);
+    cfg.measure = us(250);
+    cfg.load_flits_per_ns_per_switch = model.throughput_bound * 1.2;
+    const RunResult over = run_point(tb, scheme, pattern, cfg);
+    EXPECT_LE(over.accepted, model.throughput_bound * 1.05)
+        << to_string(scheme)
+        << ": simulation cannot beat the physical bound";
+  }
+}
+
+TEST(ChannelLoad, OrdersSchemesLikeTheSimulator) {
+  // The static model must agree that ITB-RR's bottleneck is cooler than
+  // UP/DOWN's on the torus under uniform traffic.
+  const Topology topo = make_torus_2d(8, 8, 8);
+  const UpDown ud(topo, 0);
+  const RouteSet udr = build_updown_routes(topo, SimpleRoutes(topo, ud));
+  const RouteSet itb = build_itb_routes(topo, ud);
+  UniformPattern pattern(topo.num_hosts());
+  const auto m_ud =
+      compute_channel_load(topo, udr, PathPolicy::kSingle, pattern, 1, 100000);
+  const auto m_rr = compute_channel_load(topo, itb, PathPolicy::kRoundRobin,
+                                         pattern, 1, 100000);
+  EXPECT_GT(m_rr.throughput_bound, 1.3 * m_ud.throughput_bound);
+}
+
+TEST(ChannelLoad, HotspotBottleneckIsTheHotspotAccessLink) {
+  const Topology topo = make_torus_2d(8, 8, 8);
+  const UpDown ud(topo, 0);
+  const RouteSet itb = build_itb_routes(topo, ud);
+  const HostId hotspot = 137;
+  HotspotPattern pattern(topo.num_hosts(), hotspot, 0.3);
+  const auto model = compute_channel_load(topo, itb, PathPolicy::kRoundRobin,
+                                          pattern, 1, 100000);
+  // The delivery channel into the hotspot host must be the bottleneck.
+  EXPECT_EQ(model.bottleneck,
+            topo.channel_from(topo.host(hotspot).cable, true));
+}
+
+TEST(ChannelLoad, DeterministicPerSeed) {
+  const Topology topo = make_torus_2d(4, 4, 2);
+  const UpDown ud(topo, 0);
+  const RouteSet itb = build_itb_routes(topo, ud);
+  UniformPattern pattern(topo.num_hosts());
+  const auto a =
+      compute_channel_load(topo, itb, PathPolicy::kRoundRobin, pattern, 7, 20000);
+  const auto b =
+      compute_channel_load(topo, itb, PathPolicy::kRoundRobin, pattern, 7, 20000);
+  EXPECT_EQ(a.crossings_per_packet, b.crossings_per_packet);
+  EXPECT_EQ(a.bottleneck, b.bottleneck);
+}
+
+}  // namespace
+}  // namespace itb

@@ -1,0 +1,102 @@
+// Chunk-size sensitivity: the engine's chunked execution is a performance
+// knob, not a model change — headline quantities must be stable across
+// chunk sizes.
+#include <gtest/gtest.h>
+
+#include "analysis/zero_load.hpp"
+#include "core/route_builder.hpp"
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "route/simple_routes.hpp"
+#include "sim/simulator.hpp"
+#include "topo/generators.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/patterns.hpp"
+
+namespace itb {
+namespace {
+
+struct Point {
+  double accepted;
+  double latency_ns;
+};
+
+Point run(const Topology& topo, const RouteSet& routes, int chunk,
+          double load) {
+  Simulator sim;
+  MyrinetParams params;
+  params.chunk_flits = chunk;
+  Network net(sim, topo, routes, params, PathPolicy::kRoundRobin, 21);
+  MetricsCollector m(topo.num_switches());
+  m.attach(net);
+  UniformPattern pattern(topo.num_hosts());
+  TrafficConfig tc;
+  tc.load_flits_per_ns_per_switch = load;
+  tc.seed = 5;
+  TrafficGenerator gen(sim, net, pattern, tc);
+  gen.start();
+  sim.run_until(us(150));
+  m.reset_window(sim.now());
+  sim.run_until(us(500));
+  EXPECT_EQ(net.flow_control_violations(), 0u) << "chunk " << chunk;
+  return {m.accepted_flits_per_ns_per_switch(sim.now()), m.avg_latency_ns()};
+}
+
+TEST(ChunkSensitivity, ModerateLoadMetricsAgreeAcrossChunks) {
+  const Topology topo = make_torus_2d(4, 4, 4);
+  const UpDown ud(topo, 0);
+  const RouteSet routes = build_itb_routes(topo, ud);
+  const Point exact = run(topo, routes, 1, 0.03);
+  for (const int chunk : {2, 4, 8}) {
+    const Point p = run(topo, routes, chunk, 0.03);
+    EXPECT_NEAR(p.accepted, exact.accepted, 0.05 * exact.accepted)
+        << "chunk " << chunk;
+    EXPECT_NEAR(p.latency_ns, exact.latency_ns, 0.10 * exact.latency_ns)
+        << "chunk " << chunk;
+  }
+}
+
+TEST(ChunkSensitivity, OverloadThroughputAgreesAcrossChunks) {
+  // Accepted traffic past saturation is the quantity the paper's tables
+  // report; it must not depend on the execution granularity.
+  const Topology topo = make_torus_2d(4, 4, 4);
+  const UpDown ud(topo, 0);
+  const RouteSet routes =
+      build_updown_routes(topo, SimpleRoutes(topo, ud));
+  const Point exact = run(topo, routes, 1, 0.2);
+  const Point chunked = run(topo, routes, 8, 0.2);
+  EXPECT_NEAR(chunked.accepted, exact.accepted, 0.10 * exact.accepted);
+}
+
+TEST(ChunkSensitivity, ZeroLoadModelBoundsChunkError) {
+  // For a single packet the chunked run may differ from the closed form
+  // by at most one chunk per channel crossing.
+  const Topology topo = make_torus_2d(4, 4, 2);
+  const UpDown ud(topo, 0);
+  const RouteSet routes = build_itb_routes(topo, ud);
+  MyrinetParams params;
+  for (const int chunk : {2, 4, 8}) {
+    params.chunk_flits = chunk;
+    Simulator sim;
+    Network net(sim, topo, routes, params, PathPolicy::kSingle);
+    TimePs measured = 0;
+    net.set_delivery_callback([&](const DeliveryRecord& r) {
+      measured = r.deliver_time - r.inject_time;
+    });
+    net.inject(0, 27, 512);
+    sim.run_until(ms(2));
+    ASSERT_GT(measured, 0);
+    const Route& route =
+        routes.alternatives(topo.host(0).sw, topo.host(27).sw).front();
+    MyrinetParams exact_params;  // model is chunk-agnostic
+    const TimePs predicted =
+        zero_load_latency(topo, route, 512, exact_params);
+    const TimePs slack = static_cast<TimePs>(chunk) * params.flit_time *
+                         (route.total_switch_hops + 4);
+    EXPECT_GE(measured, predicted - slack) << "chunk " << chunk;
+    EXPECT_LE(measured, predicted + slack) << "chunk " << chunk;
+  }
+}
+
+}  // namespace
+}  // namespace itb

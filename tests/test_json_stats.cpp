@@ -1,0 +1,134 @@
+// JSON emission and batch-means confidence intervals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/json.hpp"
+#include "metrics/batch_means.hpp"
+#include "sim/rng.hpp"
+
+namespace itb {
+namespace {
+
+TEST(Json, QuoteEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(json_quote(std::string("a") + '\x01' + "b"), "\"a\\u0001b\"");
+}
+
+TEST(Json, ObjectAndArrayShapes) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("x");
+  w.key("n").value(std::int64_t{3});
+  w.key("ok").value(true);
+  w.key("arr").begin_array();
+  w.value(1.5).value(std::int64_t{2});
+  w.begin_object();
+  w.key("inner").value(false);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"x","n":3,"ok":true,"arr":[1.5,2,{"inner":false}]})");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(1.0 / 0.0);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, RunResultRoundTripsKeyFields) {
+  RunResult r;
+  r.offered = 0.01;
+  r.accepted = 0.0099;
+  r.avg_latency_ns = 5123.4;
+  r.delivered = 321;
+  r.saturated = true;
+  const std::string j = run_result_to_json(r);
+  EXPECT_NE(j.find("\"accepted\":0.0099"), std::string::npos);
+  EXPECT_NE(j.find("\"delivered\":321"), std::string::npos);
+  EXPECT_NE(j.find("\"saturated\":true"), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+TEST(Json, SeriesDocument) {
+  SweepPoint p;
+  p.load = 0.02;
+  p.result.offered = 0.02;
+  const std::string j = series_to_json("fig7a", "ITB-RR", {p, p});
+  EXPECT_NE(j.find("\"experiment\":\"fig7a\""), std::string::npos);
+  EXPECT_NE(j.find("\"scheme\":\"ITB-RR\""), std::string::npos);
+  // Two points in the array.
+  std::size_t count = 0, at = 0;
+  while ((at = j.find("\"offered\"", at)) != std::string::npos) {
+    ++count;
+    ++at;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(BatchMeansStats, MeanMatches) {
+  BatchMeans bm;
+  for (int i = 1; i <= 100; ++i) bm.add(i);
+  EXPECT_DOUBLE_EQ(bm.mean(), 50.5);
+  EXPECT_EQ(bm.count(), 100u);
+}
+
+TEST(BatchMeansStats, TooFewSamplesGiveZeroCi) {
+  BatchMeans bm;
+  bm.add(1);
+  bm.add(2);
+  bm.add(3);
+  EXPECT_EQ(bm.ci95_halfwidth(), 0.0);
+}
+
+TEST(BatchMeansStats, ConstantSequenceHasZeroWidth) {
+  BatchMeans bm;
+  for (int i = 0; i < 1000; ++i) bm.add(42.0);
+  EXPECT_DOUBLE_EQ(bm.ci95_halfwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.mean(), 42.0);
+}
+
+TEST(BatchMeansStats, IidCiShrinksWithSampleSize) {
+  Rng rng(5);
+  BatchMeans small, large;
+  for (int i = 0; i < 400; ++i) small.add(rng.next_double());
+  Rng rng2(5);
+  for (int i = 0; i < 40000; ++i) large.add(rng2.next_double());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  EXPECT_GT(large.ci95_halfwidth(), 0.0);
+  // For iid U(0,1) the true mean 0.5 must be covered.
+  EXPECT_NEAR(large.mean(), 0.5, large.ci95_halfwidth() * 3);
+}
+
+TEST(BatchMeansStats, CoversTrueMeanMostOfTheTime) {
+  // Frequentist sanity: over 60 independent experiments the 95% interval
+  // should cover the true mean in the vast majority of cases.
+  int covered = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(seed * 7 + 1);
+    BatchMeans bm;
+    for (int i = 0; i < 2000; ++i) bm.add(rng.next_double() * 10.0);
+    if (std::abs(bm.mean() - 5.0) <= bm.ci95_halfwidth()) ++covered;
+  }
+  EXPECT_GE(covered, 50);
+}
+
+TEST(BatchMeansStats, BatchCountAdaptsToSampleCount) {
+  BatchMeans bm(20);
+  for (int i = 0; i < 10; ++i) bm.add(i);
+  const auto means = bm.batch_means();
+  EXPECT_GE(means.size(), 2u);
+  EXPECT_LE(means.size(), 5u);  // at least 2 samples per batch
+}
+
+}  // namespace
+}  // namespace itb

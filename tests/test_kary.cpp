@@ -1,0 +1,88 @@
+// k-ary n-cube generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/route_builder.hpp"
+#include "route/updown.hpp"
+#include "topo/generators.hpp"
+
+namespace itb {
+namespace {
+
+TEST(KaryNcube, TwoDimTorusMatchesDedicatedGenerator) {
+  const Topology kary = make_kary_ncube(8, 2, 8);
+  const Topology torus = make_torus_2d(8, 8, 8);
+  EXPECT_EQ(kary.num_switches(), torus.num_switches());
+  EXPECT_EQ(kary.num_hosts(), torus.num_hosts());
+  EXPECT_EQ(kary.num_cables(), torus.num_cables());
+  // Same degree everywhere and same distance profile from switch 0.
+  const auto dk = kary.switch_distances_from(0);
+  const auto dt = torus.switch_distances_from(0);
+  auto sk = dk, st = dt;
+  std::sort(sk.begin(), sk.end());
+  std::sort(st.begin(), st.end());
+  EXPECT_EQ(sk, st);
+}
+
+TEST(KaryNcube, ThreeDTorus) {
+  const Topology t = make_kary_ncube(4, 3, 8);
+  EXPECT_EQ(t.num_switches(), 64);
+  EXPECT_EQ(t.num_hosts(), 512);
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_TRUE(t.connected());
+  for (SwitchId s = 0; s < 64; ++s) {
+    EXPECT_EQ(t.switch_degree(s), 6);  // +-1 in each of 3 dims
+  }
+  // Max distance = 3 dims * floor(4/2) = 6.
+  const auto d = t.switch_distances_from(0);
+  EXPECT_EQ(*std::max_element(d.begin(), d.end()), 6);
+}
+
+TEST(KaryNcube, KEquals2IsHypercube) {
+  const Topology kary = make_kary_ncube(2, 4, 1, 8);
+  const Topology cube = make_hypercube(4, 1, 8);
+  EXPECT_EQ(kary.num_switches(), cube.num_switches());
+  EXPECT_EQ(kary.num_cables(), cube.num_cables());
+  for (SwitchId s = 0; s < 16; ++s) {
+    auto a = kary.switch_neighbors(s);
+    auto b = cube.switch_neighbors(s);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "switch " << s;
+  }
+}
+
+TEST(KaryNcube, RingIsOneDim) {
+  const Topology t = make_kary_ncube(6, 1, 2, 8);
+  EXPECT_EQ(t.num_switches(), 6);
+  for (SwitchId s = 0; s < 6; ++s) EXPECT_EQ(t.switch_degree(s), 2);
+  const auto d = t.switch_distances_from(0);
+  EXPECT_EQ(*std::max_element(d.begin(), d.end()), 3);
+}
+
+TEST(KaryNcube, Validation) {
+  EXPECT_THROW(make_kary_ncube(1, 2, 1), std::invalid_argument);
+  EXPECT_THROW(make_kary_ncube(2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_kary_ncube(10, 5, 1), std::invalid_argument);  // 100k sw
+}
+
+TEST(KaryNcube, RoutableWithBothSchemes) {
+  const Topology t = make_kary_ncube(4, 3, 2);
+  const UpDown ud(t, 0);
+  const RouteSet itb = build_itb_routes(t, ud);
+  const auto dist = t.all_switch_distances();
+  for (SwitchId s = 0; s < t.num_switches(); s += 7) {
+    for (SwitchId d = 0; d < t.num_switches(); ++d) {
+      const auto& alts = itb.alternatives(s, d);
+      ASSERT_FALSE(alts.empty());
+      EXPECT_EQ(alts.front().total_switch_hops,
+                dist[static_cast<std::size_t>(s) *
+                         static_cast<std::size_t>(t.num_switches()) +
+                     static_cast<std::size_t>(d)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itb

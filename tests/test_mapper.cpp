@@ -1,0 +1,240 @@
+// Topology discovery (the Myrinet mapper), map diffing and the
+// route-manager control loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mapper/mapper.hpp"
+#include "mapper/route_manager.hpp"
+#include "sim/rng.hpp"
+#include "topo/generators.hpp"
+
+namespace itb {
+namespace {
+
+// Isomorphism check via signatures: the discovered map must reproduce the
+// physical network exactly once the signature correspondence is applied.
+void expect_isomorphic(const Topology& real, const TopologyProber& prober,
+                       const NetworkMap& map) {
+  ASSERT_EQ(map.topo.num_switches(), real.num_switches());
+  ASSERT_EQ(map.topo.num_hosts(), real.num_hosts());
+  ASSERT_EQ(map.topo.num_cables(), real.num_cables());
+  EXPECT_TRUE(map.topo.validate().empty());
+
+  // Build correspondence: discovered switch -> real switch.
+  std::vector<SwitchId> to_real(static_cast<std::size_t>(map.topo.num_switches()),
+                                kNoSwitch);
+  for (SwitchId s = 0; s < map.topo.num_switches(); ++s) {
+    bool found = false;
+    for (SwitchId r = 0; r < real.num_switches(); ++r) {
+      if (prober.switch_signature(r) ==
+          map.switch_sig[static_cast<std::size_t>(s)]) {
+        to_real[static_cast<std::size_t>(s)] = r;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "discovered switch with unknown signature";
+  }
+  // No duplicates.
+  auto sorted = to_real;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+
+  // Port-exact wiring: every discovered port maps to the same peer kind
+  // and, through the correspondence, the same peer switch/port.
+  for (SwitchId s = 0; s < map.topo.num_switches(); ++s) {
+    const SwitchId r = to_real[static_cast<std::size_t>(s)];
+    for (PortId p = 0; p < map.topo.ports_per_switch(); ++p) {
+      const PortPeer& dp = map.topo.peer(s, p);
+      const PortPeer& rp = real.peer(r, p);
+      ASSERT_EQ(dp.kind, rp.kind) << "switch " << s << " port " << p;
+      if (dp.kind == PeerKind::kSwitch) {
+        EXPECT_EQ(to_real[static_cast<std::size_t>(dp.sw)], rp.sw);
+        EXPECT_EQ(dp.port, rp.port);
+      } else if (dp.kind == PeerKind::kHost) {
+        EXPECT_EQ(map.host_sig[static_cast<std::size_t>(dp.host)],
+                  prober.host_signature(rp.host));
+      }
+    }
+  }
+}
+
+TEST(Prober, LocalAndOneHopProbes) {
+  const Topology t = make_mesh_2d(1, 2, 2);
+  TopologyProber prober(t, /*origin=*/0);
+  const ProbeResult local = prober.probe({});
+  EXPECT_EQ(local.target, ProbeTarget::kSwitch);
+  EXPECT_EQ(local.signature, prober.switch_signature(0));
+  EXPECT_EQ(local.num_ports, t.ports_per_switch());
+
+  // Port 0 of switch 0 leads to switch 1 (fabric cable created first).
+  const ProbeResult hop = prober.probe({PortId{0}});
+  EXPECT_EQ(hop.target, ProbeTarget::kSwitch);
+  EXPECT_EQ(hop.signature, prober.switch_signature(1));
+  EXPECT_EQ(hop.entry_port, 0);
+
+  // The origin's own access port reports the origin host.
+  const ProbeResult self = prober.probe({t.host(0).port});
+  EXPECT_EQ(self.target, ProbeTarget::kHost);
+  EXPECT_EQ(self.signature, prober.host_signature(0));
+
+  // An unplugged port reports nothing.
+  const PortId free_port = t.first_free_port(0);
+  ASSERT_NE(free_port, kNoPort);
+  EXPECT_EQ(prober.probe({free_port}).target, ProbeTarget::kNothing);
+  EXPECT_GE(prober.probes_sent(), 4u);
+}
+
+TEST(Prober, HostMidRouteConsumesProbe) {
+  const Topology t = make_mesh_2d(1, 2, 2);
+  TopologyProber prober(t, 0);
+  // First hop into a host, second hop impossible.
+  const ProbeResult r = prober.probe({t.host(0).port, PortId{0}});
+  EXPECT_EQ(r.target, ProbeTarget::kNothing);
+}
+
+TEST(Prober, FailedCableBlocksProbes) {
+  const Topology t = make_mesh_2d(1, 3, 1);
+  TopologyProber prober(t, 0);
+  // Kill the cable between switches 1 and 2.
+  const PortPeer& peer = t.peer(1, t.switch_ports_of(1)[1]);
+  prober.fail_cable(peer.cable);
+  // Route 0 -> 1 still works; 0 -> 1 -> 2 does not.
+  EXPECT_EQ(prober.probe({PortId{0}}).target, ProbeTarget::kSwitch);
+  EXPECT_EQ(prober.probe({PortId{0}, t.switch_ports_of(1)[1]}).target,
+            ProbeTarget::kNothing);
+  prober.restore_cable(peer.cable);
+  EXPECT_EQ(prober.probe({PortId{0}, t.switch_ports_of(1)[1]}).target,
+            ProbeTarget::kSwitch);
+}
+
+TEST(Mapper, DiscoversTorusExactly) {
+  const Topology real = make_torus_2d(4, 4, 2);
+  TopologyProber prober(real, 5);
+  const NetworkMap map = map_network(prober, prober.host_signature(5));
+  expect_isomorphic(real, prober, map);
+  EXPECT_EQ(map.origin, map.host_by_signature(prober.host_signature(5)));
+  EXPECT_GT(map.probes_used, 0u);
+}
+
+TEST(Mapper, DiscoversCplant) {
+  const Topology real = make_cplant();
+  TopologyProber prober(real, 123);
+  const NetworkMap map = map_network(prober, prober.host_signature(123));
+  expect_isomorphic(real, prober, map);
+}
+
+class MapperRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperRandom, DiscoversRandomIrregular) {
+  Rng rng(GetParam());
+  const Topology real = make_irregular(12, 2, 5, rng);
+  const auto origin = static_cast<HostId>(GetParam() % 24);
+  TopologyProber prober(real, origin);
+  const NetworkMap map = map_network(prober, prober.host_signature(origin));
+  expect_isomorphic(real, prober, map);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperRandom,
+                         ::testing::Range<std::uint64_t>(300, 310));
+
+TEST(Mapper, OriginNumberingIsStable) {
+  const Topology real = make_torus_2d(4, 4, 2);
+  TopologyProber prober(real, 3);
+  const NetworkMap a = map_network(prober, prober.host_signature(3));
+  const NetworkMap b = map_network(prober, prober.host_signature(3));
+  EXPECT_EQ(a.switch_sig, b.switch_sig);
+  EXPECT_EQ(a.host_sig, b.host_sig);
+}
+
+TEST(Mapper, DeadAccessCableThrows) {
+  const Topology real = make_mesh_2d(1, 2, 1);
+  TopologyProber prober(real, 0);
+  prober.fail_cable(real.host(0).cable);
+  EXPECT_THROW(map_network(prober, prober.host_signature(0)),
+               std::runtime_error);
+}
+
+TEST(MapDiff, DetectsFailedFabricCable) {
+  // Use a topology with a redundant cable so failure keeps it connected.
+  const Topology real = make_torus_2d(4, 4, 1);
+  TopologyProber prober(real, 0);
+  const NetworkMap before = map_network(prober, prober.host_signature(0));
+
+  const PortPeer& peer = real.peer(5, real.switch_ports_of(5)[0]);
+  prober.fail_cable(peer.cable);
+  const NetworkMap after = map_network(prober, prober.host_signature(0));
+
+  const MapDiff d = diff_maps(before, after);
+  EXPECT_TRUE(d.switches_removed.empty());
+  EXPECT_TRUE(d.hosts_removed.empty());
+  EXPECT_EQ(d.cables_removed.size(), 1u);
+  EXPECT_TRUE(d.cables_added.empty());
+  EXPECT_FALSE(d.empty());
+  // And the reverse diff sees it as an addition.
+  const MapDiff r = diff_maps(after, before);
+  EXPECT_EQ(r.cables_added.size(), 1u);
+}
+
+TEST(MapDiff, DetectsLostSubtree) {
+  // Killing a host's access cable removes exactly that host.
+  const Topology real = make_torus_2d(4, 4, 2);
+  TopologyProber prober(real, 0);
+  const NetworkMap before = map_network(prober, prober.host_signature(0));
+  prober.fail_cable(real.host(9).cable);
+  const NetworkMap after = map_network(prober, prober.host_signature(0));
+  const MapDiff d = diff_maps(before, after);
+  ASSERT_EQ(d.hosts_removed.size(), 1u);
+  EXPECT_EQ(d.hosts_removed[0], prober.host_signature(9));
+  EXPECT_TRUE(d.switches_removed.empty());
+}
+
+TEST(MapDiff, IdenticalMapsAreEmpty) {
+  const Topology real = make_mesh_2d(2, 2, 1);
+  TopologyProber prober(real, 0);
+  const NetworkMap a = map_network(prober, prober.host_signature(0));
+  const NetworkMap b = map_network(prober, prober.host_signature(0));
+  EXPECT_TRUE(diff_maps(a, b).empty());
+}
+
+TEST(RouteManager, BuildsAndCachesRoutes) {
+  const Topology real = make_torus_2d(4, 4, 2);
+  TopologyProber prober(real, 0);
+  RouteManager mgr(prober, prober.host_signature(0));
+  const RouteSet& itb1 = mgr.itb_routes();
+  const RouteSet& itb2 = mgr.itb_routes();
+  EXPECT_EQ(&itb1, &itb2);
+  EXPECT_EQ(mgr.rebuilds(), 0);
+  // No change -> no rebuild.
+  EXPECT_TRUE(mgr.refresh().empty());
+  EXPECT_EQ(mgr.rebuilds(), 0);
+  EXPECT_EQ(&mgr.itb_routes(), &itb1);
+}
+
+TEST(RouteManager, FailureTriggersRebuildAndAvoidsDeadCable) {
+  const Topology real = make_torus_2d(4, 4, 2);
+  TopologyProber prober(real, 0);
+  RouteManager mgr(prober, prober.host_signature(0));
+  (void)mgr.updown_routes();
+
+  // Fail one fabric cable; the torus stays connected.
+  const PortPeer& peer = real.peer(0, real.switch_ports_of(0)[0]);
+  prober.fail_cable(peer.cable);
+  const MapDiff d = mgr.refresh();
+  EXPECT_EQ(d.cables_removed.size(), 1u);
+  EXPECT_EQ(mgr.rebuilds(), 1);
+
+  // New tables exist, cover every pair of the surviving topology, and are
+  // all legal (spot-check through the new UpDown).
+  const Topology& topo = mgr.map().topo;
+  const RouteSet& routes = mgr.updown_routes();
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    for (SwitchId dd = 0; dd < topo.num_switches(); ++dd) {
+      EXPECT_FALSE(routes.alternatives(s, dd).empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itb

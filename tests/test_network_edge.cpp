@@ -1,0 +1,248 @@
+// Engine edge cases: tiny payloads, multiple packets resident in one
+// slack buffer, parallel cables, long chains, concurrent in-transit use
+// of a destination host, and stop&go boundary behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/route_builder.hpp"
+#include "net/network.hpp"
+#include "route/simple_routes.hpp"
+#include "sim/simulator.hpp"
+#include "topo/generators.hpp"
+
+namespace itb {
+namespace {
+
+constexpr TimePs F = 6250;
+constexpr TimePs W = 49200;
+constexpr TimePs R = 150000;
+
+struct Capture {
+  std::vector<DeliveryRecord> records;
+  void attach(Network& net) {
+    net.set_delivery_callback(
+        [this](const DeliveryRecord& r) { records.push_back(r); });
+  }
+};
+
+TEST(EdgeCases, OneBytePayload) {
+  MyrinetParams p;
+  p.chunk_flits = 1;
+  Topology topo = make_mesh_2d(1, 2, 1);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_updown_routes(topo, SimpleRoutes(topo, ud));
+  Simulator sim;
+  Network net(sim, topo, routes, p, PathPolicy::kSingle);
+  Capture cap;
+  cap.attach(net);
+  net.inject(0, 1, 1);
+  sim.run_until(ms(1));
+  ASSERT_EQ(cap.records.size(), 1u);
+  // k = 1 hop: latency = 3(F+W) + 2R + 1*F.
+  EXPECT_EQ(cap.records[0].deliver_time, 3 * (F + W) + 2 * R + 1 * F);
+}
+
+TEST(EdgeCases, TinyMessagesShareOneSlackBuffer) {
+  // 32-byte messages are ~37 flits on the wire: a stalled 80-flit buffer
+  // holds two of them.  Head-of-line FIFO order must be preserved and all
+  // must drain.
+  MyrinetParams p;
+  p.chunk_flits = 1;
+  Topology topo = make_mesh_2d(1, 3, 2);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_updown_routes(topo, SimpleRoutes(topo, ud));
+  Simulator sim;
+  Network net(sim, topo, routes, p, PathPolicy::kSingle);
+  Capture cap;
+  cap.attach(net);
+  // Hosts 0,1 on switch 0; 2,3 on switch 1; 4,5 on switch 2.  Flood the
+  // middle switch's host from both sides with tiny messages so its input
+  // buffers hold several packets back to back.
+  for (int i = 0; i < 40; ++i) {
+    net.inject(0, 2, 32);
+    net.inject(4, 2, 32);
+    net.inject(1, 3, 32);
+  }
+  sim.run_until(ms(5));
+  EXPECT_EQ(cap.records.size(), 120u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+  EXPECT_EQ(net.flow_control_violations(), 0u);
+  // Per-source FIFO delivery order.
+  TimePs last0 = -1, last4 = -1;
+  for (const auto& r : cap.records) {
+    if (r.src == 0) {
+      EXPECT_GT(r.deliver_time, last0);
+      last0 = r.deliver_time;
+    }
+    if (r.src == 4) {
+      EXPECT_GT(r.deliver_time, last4);
+      last4 = r.deliver_time;
+    }
+  }
+}
+
+TEST(EdgeCases, ParallelCablesBetweenTwoSwitches) {
+  // Two cables between the same pair of switches: both must be usable and
+  // arbitration must keep them independent.
+  Topology topo(2, 8, "parallel");
+  topo.connect(0, 0, 1, 0);
+  topo.connect(0, 1, 1, 1);
+  topo.attach_hosts(0, 2);
+  topo.attach_hosts(1, 2);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_itb_routes(topo, ud);
+  // Both parallel cables give a minimal path; alternatives must include
+  // both.
+  EXPECT_EQ(routes.alternatives(0, 1).size(), 2u);
+
+  MyrinetParams p;
+  Simulator sim;
+  Network net(sim, topo, routes, p, PathPolicy::kRoundRobin, 3);
+  Capture cap;
+  cap.attach(net);
+  for (int i = 0; i < 10; ++i) {
+    net.inject(0, 2, 512);
+    net.inject(1, 3, 512);
+  }
+  sim.run_until(ms(2));
+  EXPECT_EQ(cap.records.size(), 20u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+  // With round-robin over the two cables, both fabric channels must have
+  // carried traffic.
+  const ChannelId ch0 = topo.channel_from(0, true);
+  const ChannelId ch1 = topo.channel_from(1, true);
+  EXPECT_GT(net.channel_busy_time(ch0), 0);
+  EXPECT_GT(net.channel_busy_time(ch1), 0);
+}
+
+TEST(EdgeCases, LongChainWormSpansManySwitches) {
+  // A 512-flit worm across a 10-switch chain spans every slack buffer on
+  // the path when the head stalls; on an idle network it streams at full
+  // rate end to end.
+  MyrinetParams p;
+  p.chunk_flits = 1;
+  Topology topo = make_mesh_2d(1, 10, 1);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_updown_routes(topo, SimpleRoutes(topo, ud));
+  Simulator sim;
+  Network net(sim, topo, routes, p, PathPolicy::kSingle);
+  Capture cap;
+  cap.attach(net);
+  net.inject(0, 9, 512);
+  sim.run_until(ms(2));
+  ASSERT_EQ(cap.records.size(), 1u);
+  // k = 9 cables: latency = 11(F+W) + 10R + 512F.
+  EXPECT_EQ(cap.records[0].deliver_time, 11 * (F + W) + 10 * R + 512 * F);
+  EXPECT_EQ(net.flow_control_violations(), 0u);
+}
+
+TEST(EdgeCases, DestinationHostAlsoServesAsInTransit) {
+  // The ITB host of one flow can simultaneously be the destination of
+  // another: the NIC must keep ejection entries and deliveries separate.
+  Topology topo(5, 8, "itb-shared");
+  topo.connect_auto(0, 1);
+  topo.connect_auto(0, 2);
+  topo.connect_auto(1, 3);
+  topo.connect_auto(2, 4);
+  topo.connect_auto(3, 4);
+  for (SwitchId s = 0; s < 5; ++s) topo.attach_hosts(s, 2);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_itb_routes(topo, ud);
+  const HostId itb_host = routes.alternatives(3, 2)[0].legs[0].end_host;
+  ASSERT_NE(itb_host, kNoHost);
+
+  MyrinetParams p;
+  Simulator sim;
+  Network net(sim, topo, routes, p, PathPolicy::kSingle, 5);
+  Capture cap;
+  cap.attach(net);
+  // Flow A: host 6 (switch 3) -> host 4 (switch 2), through the ITB host.
+  // Flow B: host 0 (switch 0) -> the ITB host itself, repeatedly.
+  for (int i = 0; i < 5; ++i) {
+    net.inject(6, 4, 512);
+    net.inject(0, itb_host, 512);
+  }
+  sim.run_until(ms(5));
+  EXPECT_EQ(cap.records.size(), 10u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+  int itb_used = 0;
+  for (const auto& r : cap.records) {
+    if (r.src == 6) {
+      EXPECT_EQ(r.itbs_used, 1);
+      ++itb_used;
+    } else {
+      EXPECT_EQ(r.itbs_used, 0);
+    }
+  }
+  EXPECT_EQ(itb_used, 5);
+}
+
+TEST(EdgeCases, StopGoBoundaryNeverOverflowsAnyChunkSize) {
+  // Aggressive fan-in onto one output with every chunk size: occupancy
+  // must never exceed the 80-flit slack even transiently.
+  for (const int chunk : {1, 2, 4, 8}) {
+    MyrinetParams p;
+    p.chunk_flits = chunk;
+    Topology topo = make_mesh_2d(1, 3, 4);
+    UpDown ud(topo, 0);
+    RouteSet routes = build_updown_routes(topo, SimpleRoutes(topo, ud));
+    Simulator sim;
+    Network net(sim, topo, routes, p, PathPolicy::kSingle, 9);
+    // All eight outer hosts flood the four middle-switch hosts.
+    for (int i = 0; i < 20; ++i) {
+      for (const HostId src : {0, 1, 2, 3, 8, 9, 10, 11}) {
+        net.inject(src, static_cast<HostId>(4 + (src + i) % 4), 512);
+      }
+    }
+    sim.run_until(ms(10));
+    EXPECT_EQ(net.packets_in_flight(), 0u) << "chunk " << chunk;
+    EXPECT_EQ(net.flow_control_violations(), 0u) << "chunk " << chunk;
+    EXPECT_LE(net.max_buffer_occupancy(), 80) << "chunk " << chunk;
+  }
+}
+
+TEST(EdgeCases, SmallestPossibleNetwork) {
+  // One switch, two hosts: pure NIC-switch-NIC operation.
+  Topology topo(1, 4, "tiny");
+  topo.attach_hosts(0, 2);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_itb_routes(topo, ud);
+  MyrinetParams p;
+  Simulator sim;
+  Network net(sim, topo, routes, p, PathPolicy::kSingle);
+  Capture cap;
+  cap.attach(net);
+  net.inject(0, 1, 512);
+  net.inject(1, 0, 512);
+  sim.run_until(ms(1));
+  EXPECT_EQ(cap.records.size(), 2u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+}
+
+TEST(EdgeCases, ManySimultaneousInjectionsAtTimeZero) {
+  // Every host injects at t = 0: the deterministic tie-break must produce
+  // a reproducible, deadlock-free schedule.
+  Topology topo = make_torus_2d(4, 4, 4);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_itb_routes(topo, ud);
+  auto run_once = [&] {
+    MyrinetParams p;
+    Simulator sim;
+    Network net(sim, topo, routes, p, PathPolicy::kRoundRobin, 77);
+    Capture cap;
+    cap.attach(net);
+    for (HostId h = 0; h < topo.num_hosts(); ++h) {
+      net.inject(h, static_cast<HostId>((h + 17) % topo.num_hosts()), 512);
+    }
+    sim.run_until(ms(10));
+    EXPECT_EQ(net.packets_in_flight(), 0u);
+    TimePs sum = 0;
+    for (const auto& r : cap.records) sum += r.deliver_time;
+    return sum;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace itb

@@ -1,0 +1,157 @@
+// Per-packet event tracing: exact milestone sequences for plain and
+// in-transit routes, and aggregate consistency at scale.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/route_builder.hpp"
+#include "net/network.hpp"
+#include "route/simple_routes.hpp"
+#include "sim/simulator.hpp"
+#include "topo/generators.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/patterns.hpp"
+
+namespace itb {
+namespace {
+
+// The 5-switch fixture from test_network_itb: pair (3 -> 2) has a unique
+// minimal path with one in-transit host on switch 4.
+Topology itb_fixture() {
+  Topology t(5, 8, "itb-fixture");
+  t.connect_auto(0, 1);
+  t.connect_auto(0, 2);
+  t.connect_auto(1, 3);
+  t.connect_auto(2, 4);
+  t.connect_auto(3, 4);
+  for (SwitchId s = 0; s < 5; ++s) t.attach_hosts(s, 2);
+  return t;
+}
+
+TEST(PacketEvents, PlainRouteSequence) {
+  Topology topo = make_mesh_2d(1, 3, 1);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_updown_routes(topo, SimpleRoutes(topo, ud));
+  Simulator sim;
+  MyrinetParams params;
+  Network net(sim, topo, routes, params, PathPolicy::kSingle);
+  std::vector<PacketEventRecord> events;
+  net.set_packet_event_sink(
+      [&](const PacketEventRecord& r) { events.push_back(r); });
+  net.inject(0, 2, 512);
+  sim.run_until(ms(1));
+
+  ASSERT_EQ(events.size(), 5u);  // injected, 3 headers, delivered
+  EXPECT_EQ(events[0].event, PacketEvent::kInjected);
+  EXPECT_EQ(events[0].host, 0);
+  EXPECT_EQ(events[1].event, PacketEvent::kHeaderAtSwitch);
+  EXPECT_EQ(events[1].sw, 0);
+  EXPECT_EQ(events[2].sw, 1);
+  EXPECT_EQ(events[3].sw, 2);
+  EXPECT_EQ(events[4].event, PacketEvent::kDelivered);
+  EXPECT_EQ(events[4].host, 2);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+    EXPECT_EQ(events[i].packet_id, events[0].packet_id);
+  }
+}
+
+TEST(PacketEvents, ItbRouteSequence) {
+  Topology topo = itb_fixture();
+  UpDown ud(topo, 0);
+  RouteSet routes = build_itb_routes(topo, ud);
+  Simulator sim;
+  MyrinetParams params;
+  Network net(sim, topo, routes, params, PathPolicy::kSingle);
+  std::vector<PacketEventRecord> events;
+  net.set_packet_event_sink(
+      [&](const PacketEventRecord& r) { events.push_back(r); });
+  // Host 6 (switch 3) -> host 4 (switch 2): leg 3-4 then 4-2, ITB at a
+  // host of switch 4.
+  net.inject(6, 4, 512);
+  sim.run_until(ms(2));
+
+  std::vector<PacketEvent> kinds;
+  for (const auto& e : events) kinds.push_back(e.event);
+  EXPECT_EQ(kinds, (std::vector<PacketEvent>{
+                       PacketEvent::kInjected,
+                       PacketEvent::kHeaderAtSwitch,   // switch 3
+                       PacketEvent::kHeaderAtSwitch,   // switch 4
+                       PacketEvent::kEjectedAtItb,     // host on switch 4
+                       PacketEvent::kReinjectionReady,
+                       PacketEvent::kHeaderAtSwitch,   // switch 4 again
+                       PacketEvent::kHeaderAtSwitch,   // switch 2
+                       PacketEvent::kDelivered,
+                   }));
+  EXPECT_EQ(events[1].sw, 3);
+  EXPECT_EQ(events[2].sw, 4);
+  EXPECT_EQ(topo.host(events[3].host).sw, 4);
+  EXPECT_EQ(events[3].host, events[4].host);
+  EXPECT_EQ(events[5].sw, 4);
+  EXPECT_EQ(events[6].sw, 2);
+  EXPECT_EQ(events.back().host, 4);
+  // Detection + DMA delay separates ejection from readiness exactly.
+  EXPECT_EQ(events[4].time - events[3].time,
+            params.itb_detect_delay + params.itb_dma_delay);
+}
+
+TEST(PacketEvents, AggregateConsistencyUnderLoad) {
+  Topology topo = make_torus_2d(4, 4, 2);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_itb_routes(topo, ud);
+  Simulator sim;
+  MyrinetParams params;
+  Network net(sim, topo, routes, params, PathPolicy::kRoundRobin, 3);
+  std::uint64_t injected = 0, delivered = 0, headers = 0, ejected = 0,
+                ready = 0;
+  net.set_packet_event_sink([&](const PacketEventRecord& r) {
+    switch (r.event) {
+      case PacketEvent::kInjected: ++injected; break;
+      case PacketEvent::kDelivered: ++delivered; break;
+      case PacketEvent::kHeaderAtSwitch: ++headers; break;
+      case PacketEvent::kEjectedAtItb: ++ejected; break;
+      case PacketEvent::kReinjectionReady: ++ready; break;
+    }
+  });
+  UniformPattern pattern(topo.num_hosts());
+  TrafficConfig cfg;
+  cfg.load_flits_per_ns_per_switch = 0.03;
+  TrafficGenerator gen(sim, net, pattern, cfg);
+  gen.start();
+  sim.run_until(us(400));
+  gen.stop();
+  sim.run_until(sim.now() + ms(10));
+
+  EXPECT_EQ(injected, net.packets_injected());
+  EXPECT_EQ(delivered, net.packets_delivered());
+  EXPECT_EQ(injected, delivered);
+  EXPECT_EQ(ejected, ready) << "every ejection must become a re-injection";
+  // Headers: one per switch visit; every packet visits >= 1 switch and
+  // an ITB visit re-enters its switch.
+  EXPECT_GE(headers, delivered);
+}
+
+TEST(PacketEvents, NoSinkMeansNoOverheadPath) {
+  // Without a sink the run must behave identically (same deliveries).
+  Topology topo = make_torus_2d(4, 4, 2);
+  UpDown ud(topo, 0);
+  RouteSet routes = build_itb_routes(topo, ud);
+  auto run = [&](bool with_sink) {
+    Simulator sim;
+    MyrinetParams params;
+    Network net(sim, topo, routes, params, PathPolicy::kSingle, 5);
+    std::uint64_t count = 0;
+    if (with_sink) {
+      net.set_packet_event_sink([&](const PacketEventRecord&) { ++count; });
+    }
+    for (HostId h = 0; h < 16; ++h) {
+      net.inject(h, static_cast<HostId>((h + 5) % 32), 512);
+    }
+    sim.run_until(ms(5));
+    return net.packets_delivered();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace itb

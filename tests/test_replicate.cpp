@@ -1,0 +1,66 @@
+// Independent-replication aggregation.
+#include <gtest/gtest.h>
+
+#include "harness/replicate.hpp"
+#include "harness/testbed.hpp"
+#include "topo/generators.hpp"
+#include "traffic/patterns.hpp"
+
+namespace itb {
+namespace {
+
+RunConfig fast_cfg(double load) {
+  RunConfig cfg;
+  cfg.load_flits_per_ns_per_switch = load;
+  cfg.warmup = us(40);
+  cfg.measure = us(120);
+  return cfg;
+}
+
+TEST(Replicate, AggregatesAcrossSeeds) {
+  Testbed tb(make_torus_2d(4, 4, 2));
+  UniformPattern pat(tb.topo().num_hosts());
+  const auto rep = run_replicated(tb, RoutingScheme::kItbRr, pat,
+                                  fast_cfg(0.01), 5);
+  ASSERT_EQ(rep.runs.size(), 5u);
+  EXPECT_EQ(rep.accepted.count(), 5u);
+  EXPECT_NEAR(rep.accepted.mean(), 0.01, 0.002);
+  EXPECT_GT(rep.latency_ns.mean(), 3000.0);
+  EXPECT_EQ(rep.saturated_count, 0);
+  // Different seeds must actually differ (non-degenerate ensemble).
+  EXPECT_GT(rep.latency_ns.stddev(), 0.0);
+  // CI is positive and small relative to the mean at this easy load.
+  EXPECT_GT(rep.accepted_ci95(), 0.0);
+  EXPECT_LT(rep.accepted_ci95(), 0.2 * rep.accepted.mean());
+}
+
+TEST(Replicate, SingleReplicationHasZeroCi) {
+  Testbed tb(make_torus_2d(4, 4, 2));
+  UniformPattern pat(tb.topo().num_hosts());
+  const auto rep = run_replicated(tb, RoutingScheme::kUpDown, pat,
+                                  fast_cfg(0.01), 1);
+  EXPECT_EQ(rep.runs.size(), 1u);
+  EXPECT_EQ(rep.accepted_ci95(), 0.0);
+}
+
+TEST(Replicate, DetectsSaturationConsistently) {
+  Testbed tb(make_torus_2d(4, 4, 2));
+  UniformPattern pat(tb.topo().num_hosts());
+  const auto rep = run_replicated(tb, RoutingScheme::kUpDown, pat,
+                                  fast_cfg(0.3), 3);
+  EXPECT_EQ(rep.saturated_count, 3);
+}
+
+TEST(Replicate, DeterministicGivenBaseSeed) {
+  Testbed tb(make_torus_2d(4, 4, 2));
+  UniformPattern pat(tb.topo().num_hosts());
+  const auto a = run_replicated(tb, RoutingScheme::kItbSp, pat,
+                                fast_cfg(0.01), 3);
+  const auto b = run_replicated(tb, RoutingScheme::kItbSp, pat,
+                                fast_cfg(0.01), 3);
+  EXPECT_DOUBLE_EQ(a.accepted.mean(), b.accepted.mean());
+  EXPECT_DOUBLE_EQ(a.latency_ns.mean(), b.latency_ns.mean());
+}
+
+}  // namespace
+}  // namespace itb

@@ -1,0 +1,276 @@
+// Unit tests for the discrete-event kernel: event queue ordering, simulator
+// clock semantics, RNG determinism and distribution sanity, statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace itb {
+namespace {
+
+TEST(Time, ConversionsAreExact) {
+  EXPECT_EQ(ns(std::int64_t{150}), 150000);
+  EXPECT_EQ(ns(6.25), 6250);
+  EXPECT_EQ(ns(4.92), 4920);
+  EXPECT_EQ(us(std::int64_t{1}), 1000000);
+  EXPECT_EQ(ms(std::int64_t{1}), 1000000000);
+  EXPECT_DOUBLE_EQ(to_ns(6250), 6.25);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&] { fired.push_back(3); });
+  q.push(10, [&] { fired.push_back(1); });
+  q.push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    q.push(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  Rng rng(7);
+  std::vector<TimePs> popped;
+  TimePs now = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      q.push(now + static_cast<TimePs>(rng.next_below(1000)), [] {});
+    }
+    for (int i = 0; i < 10 && !q.empty(); ++i) {
+      auto [t, fn] = q.pop();
+      EXPECT_GE(t, now);
+      now = t;
+      popped.push_back(t);
+    }
+  }
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    EXPECT_GE(t, now);
+    now = t;
+    popped.push_back(t);
+  }
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+  EXPECT_EQ(popped.size(), 50u * 20u);
+}
+
+TEST(EventQueue, NextTimeReportsHead) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kTimeNever);
+  q.push(99, [] {});
+  EXPECT_EQ(q.next_time(), 99);
+}
+
+TEST(Simulator, ClockFollowsEvents) {
+  Simulator sim;
+  TimePs seen = -1;
+  sim.schedule_in(100, [&] { seen = sim.now(); });
+  sim.run_until();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.schedule_at(200, [&] { ++fired; });
+  sim.schedule_at(201, [&] { ++fired; });
+  sim.run_until(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 200);
+  sim.run_until(300);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, DeadlineAdvancesClockWhenQueueIdle) {
+  Simulator sim;
+  sim.run_until(5000);
+  EXPECT_EQ(sim.now(), 5000);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_in(10, chain);
+  };
+  sim.schedule_in(10, chain);
+  sim.run_until();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunWhilePredicateStops) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) sim.schedule_in(i, [&] { ++count; });
+  sim.run_while([&] { return count < 7; });
+  EXPECT_EQ(count, 7);
+}
+
+TEST(Simulator, RequestStopHaltsLoop) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 100; ++i) {
+    sim.schedule_in(i, [&] {
+      if (++count == 5) sim.request_stop();
+    });
+  }
+  sim.run_until();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  Rng rng(42);
+  std::vector<int> buckets(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[static_cast<std::size_t>(v)];
+  }
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_exponential(250.0);
+  EXPECT_NEAR(sum / kDraws, 250.0, 5.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork(1);
+  Rng a2(5);
+  Rng child2 = a2.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+  // Different salts diverge.
+  Rng b(5);
+  Rng other = b.fork(2);
+  int same = 0;
+  Rng c(5);
+  Rng base = c.fork(1);
+  for (int i = 0; i < 100; ++i) {
+    if (base.next_u64() == other.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RunningStats, MeanVarMinMax) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100.0;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, QuantilesBracketData) {
+  Histogram h(10.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100) * 10.0);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 20.0);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 20.0);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OverflowCounted) {
+  Histogram h(1.0, 10);
+  h.add(5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+}  // namespace
+}  // namespace itb

@@ -1,0 +1,130 @@
+// Topology text-format parsing and serialisation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/rng.hpp"
+#include "topo/generators.hpp"
+#include "topo/io.hpp"
+
+namespace itb {
+namespace {
+
+TEST(TopoIo, ParseMinimal) {
+  const Topology t = parse_topology_string(R"(
+# a two-switch network
+topology tiny
+switches 2 4
+cable 0 0 1 0
+host 0 1
+host 1 1 25.0
+pos 1 3 4
+)");
+  EXPECT_EQ(t.name(), "tiny");
+  EXPECT_EQ(t.num_switches(), 2);
+  EXPECT_EQ(t.ports_per_switch(), 4);
+  EXPECT_EQ(t.num_hosts(), 2);
+  EXPECT_EQ(t.num_cables(), 3);
+  EXPECT_EQ(t.peer(0, 0).sw, 1);
+  EXPECT_EQ(t.host(1).sw, 1);
+  EXPECT_DOUBLE_EQ(t.cable(t.host(1).cable).length_m, 25.0);
+  EXPECT_DOUBLE_EQ(t.cable(t.host(0).cable).length_m, 10.0);
+  EXPECT_EQ(t.pos(1).x, 3);
+  EXPECT_EQ(t.pos(1).y, 4);
+  EXPECT_TRUE(t.validate().empty());
+}
+
+TEST(TopoIo, CommentsAndBlankLinesIgnored) {
+  const Topology t = parse_topology_string(
+      "switches 1 4   # inline comment\n\n# full line\nhost 0 0\n");
+  EXPECT_EQ(t.num_hosts(), 1);
+}
+
+TEST(TopoIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_topology_string("switches 2 4\ncable 0 0 9 0\n");
+    FAIL() << "expected parse error";
+  } catch (const TopologyParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(TopoIo, RejectsMalformedDirectives) {
+  EXPECT_THROW(parse_topology_string(""), TopologyParseError);
+  EXPECT_THROW(parse_topology_string("frobnicate 1\n"), TopologyParseError);
+  EXPECT_THROW(parse_topology_string("switches 2\n"), TopologyParseError);
+  EXPECT_THROW(parse_topology_string("switches 0 4\n"), TopologyParseError);
+  EXPECT_THROW(parse_topology_string("switches 2 4\nswitches 2 4\n"),
+               TopologyParseError);
+  EXPECT_THROW(parse_topology_string("cable 0 0 1 0\n"), TopologyParseError);
+  EXPECT_THROW(parse_topology_string("host 0 0\n"), TopologyParseError);
+  EXPECT_THROW(parse_topology_string("switches 2 4\ncable 0 zero 1 0\n"),
+               TopologyParseError);
+  EXPECT_THROW(parse_topology_string("switches 2 4\npos 5 0 0\n"),
+               TopologyParseError);
+  EXPECT_THROW(parse_topology_string("switches 2 4\ntopology late\n"),
+               TopologyParseError);
+}
+
+TEST(TopoIo, DuplicatePortUseSurfacesAsParseError) {
+  EXPECT_THROW(parse_topology_string(
+                   "switches 2 4\ncable 0 0 1 0\ncable 0 0 1 1\n"),
+               TopologyParseError);
+}
+
+TEST(TopoIo, SerializeIsCanonicalAndIdempotent) {
+  Rng rng(17);
+  const std::vector<Topology> topos = [&] {
+    std::vector<Topology> v;
+    v.push_back(make_torus_2d(4, 4, 2));
+    v.push_back(make_torus_2d_express(5, 5, 2));
+    v.push_back(make_cplant());
+    v.push_back(make_irregular(10, 2, 4, rng));
+    return v;
+  }();
+  for (const Topology& t : topos) {
+    const std::string text = serialize_topology(t);
+    const Topology parsed = parse_topology_string(text);
+    EXPECT_EQ(parsed.name(), t.name());
+    EXPECT_EQ(parsed.num_switches(), t.num_switches());
+    EXPECT_EQ(parsed.num_hosts(), t.num_hosts());
+    EXPECT_EQ(parsed.num_cables(), t.num_cables());
+    EXPECT_TRUE(parsed.validate().empty());
+    // Idempotence: re-serialising the parsed topology is a fixed point.
+    EXPECT_EQ(serialize_topology(parsed), text) << t.name();
+    // Structure preserved: identical port tables and host attachments.
+    for (SwitchId s = 0; s < t.num_switches(); ++s) {
+      for (PortId p = 0; p < t.ports_per_switch(); ++p) {
+        EXPECT_EQ(parsed.peer(s, p).kind, t.peer(s, p).kind);
+        if (t.peer(s, p).kind == PeerKind::kSwitch) {
+          EXPECT_EQ(parsed.peer(s, p).sw, t.peer(s, p).sw);
+          EXPECT_EQ(parsed.peer(s, p).port, t.peer(s, p).port);
+        }
+        if (t.peer(s, p).kind == PeerKind::kHost) {
+          EXPECT_EQ(parsed.peer(s, p).host, t.peer(s, p).host);
+        }
+      }
+      EXPECT_EQ(parsed.pos(s).x, t.pos(s).x);
+      EXPECT_EQ(parsed.pos(s).y, t.pos(s).y);
+    }
+  }
+}
+
+TEST(TopoIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/itb_topo_io_test.topo";
+  const Topology t = make_mesh_2d(2, 3, 2);
+  save_topology(t, path);
+  const Topology loaded = load_topology(path);
+  EXPECT_EQ(loaded.num_switches(), 6);
+  EXPECT_EQ(loaded.num_hosts(), 12);
+  EXPECT_EQ(serialize_topology(loaded), serialize_topology(t));
+  std::remove(path.c_str());
+}
+
+TEST(TopoIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_topology("/nonexistent/itb.topo"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace itb

@@ -1,0 +1,306 @@
+// Topology substrate: construction invariants and the paper's generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/rng.hpp"
+#include "topo/generators.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+namespace {
+
+TEST(Topology, ConstructionBasics) {
+  Topology t(4, 8, "quad");
+  EXPECT_EQ(t.name(), "quad");
+  EXPECT_EQ(t.num_switches(), 4);
+  EXPECT_EQ(t.ports_per_switch(), 8);
+  EXPECT_EQ(t.num_hosts(), 0);
+  EXPECT_EQ(t.num_cables(), 0);
+  EXPECT_EQ(t.free_ports(0), 8);
+  EXPECT_TRUE(t.validate().empty());
+}
+
+TEST(Topology, RejectsBadSizes) {
+  EXPECT_THROW(Topology(0, 8), std::invalid_argument);
+  EXPECT_THROW(Topology(4, 0), std::invalid_argument);
+}
+
+TEST(Topology, ConnectWiresBothEnds) {
+  Topology t(2, 4);
+  const CableId c = t.connect(0, 1, 1, 2);
+  const PortPeer& a = t.peer(0, 1);
+  EXPECT_EQ(a.kind, PeerKind::kSwitch);
+  EXPECT_EQ(a.sw, 1);
+  EXPECT_EQ(a.port, 2);
+  EXPECT_EQ(a.cable, c);
+  const PortPeer& b = t.peer(1, 2);
+  EXPECT_EQ(b.sw, 0);
+  EXPECT_EQ(b.port, 1);
+  EXPECT_EQ(t.switch_degree(0), 1);
+  EXPECT_TRUE(t.validate().empty());
+}
+
+TEST(Topology, ConnectRefusesBusyPort) {
+  Topology t(2, 4);
+  t.connect(0, 0, 1, 0);
+  EXPECT_THROW(t.connect(0, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(t.connect(1, 1, 1, 1), std::invalid_argument);  // self port
+}
+
+TEST(Topology, ConnectAutoUsesLowestFreePorts) {
+  Topology t(2, 4);
+  t.connect_auto(0, 1);
+  t.connect_auto(0, 1);
+  EXPECT_EQ(t.peer(0, 0).port, 0);
+  EXPECT_EQ(t.peer(0, 1).port, 1);
+  EXPECT_EQ(t.switch_degree(0), 2);
+  EXPECT_TRUE(t.validate().empty());
+}
+
+TEST(Topology, ConnectAutoSelfNeedsTwoPorts) {
+  Topology t(1, 4);
+  const CableId c = t.connect_auto(0, 0);
+  const Cable& cb = t.cable(c);
+  EXPECT_NE(cb.a.port, cb.b.port);
+  EXPECT_TRUE(t.validate().empty());
+}
+
+TEST(Topology, AttachHostAssignsDenseIds) {
+  Topology t(2, 4);
+  const HostId h0 = t.attach_host(0, 3);
+  const HostId h1 = t.attach_host(1, 0);
+  EXPECT_EQ(h0, 0);
+  EXPECT_EQ(h1, 1);
+  EXPECT_EQ(t.host(h0).sw, 0);
+  EXPECT_EQ(t.host(h0).port, 3);
+  EXPECT_EQ(t.hosts_of_switch(0), std::vector<HostId>{h0});
+  EXPECT_TRUE(t.validate().empty());
+}
+
+TEST(Topology, PortTowardsAndChannels) {
+  Topology t(2, 4);
+  const CableId c = t.connect(0, 2, 1, 3);
+  EXPECT_EQ(t.port_towards(0, c), 2);
+  EXPECT_EQ(t.port_towards(1, c), 3);
+  EXPECT_EQ(t.channel_from_switch(0, c), 2 * c);
+  EXPECT_EQ(t.channel_from_switch(1, c), 2 * c + 1);
+  EXPECT_EQ(t.num_channels(), 2);
+}
+
+TEST(Topology, DistancesBfs) {
+  // 0 - 1 - 2 chain.
+  Topology t(3, 4);
+  t.connect_auto(0, 1);
+  t.connect_auto(1, 2);
+  const auto d = t.switch_distances_from(0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(t.connected());
+  const auto all = t.all_switch_distances();
+  EXPECT_EQ(all[0 * 3 + 2], 2);
+  EXPECT_EQ(all[2 * 3 + 0], 2);
+}
+
+TEST(Topology, DisconnectedDetected) {
+  Topology t(3, 4);
+  t.connect_auto(0, 1);
+  EXPECT_FALSE(t.connected());
+  EXPECT_EQ(t.switch_distances_from(0)[2], -1);
+}
+
+// ---- generators ----
+
+TEST(Torus2D, PaperDimensions) {
+  const Topology t = make_torus_2d(8, 8, 8);
+  EXPECT_EQ(t.num_switches(), 64);
+  EXPECT_EQ(t.num_hosts(), 512);
+  // 2 fabric cables per switch created (+x, +y) plus 8 host cables.
+  EXPECT_EQ(t.num_cables(), 64 * 2 + 512);
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_TRUE(t.connected());
+  for (SwitchId s = 0; s < 64; ++s) {
+    EXPECT_EQ(t.switch_degree(s), 4);
+    EXPECT_EQ(t.hosts_of_switch(s).size(), 8u);
+    EXPECT_EQ(t.free_ports(s), 4);  // paper: 4 ports left open
+  }
+}
+
+TEST(Torus2D, WraparoundNeighbors) {
+  const Topology t = make_torus_2d(8, 8, 1);
+  // Switch 0 (row 0, col 0) must neighbour 1, 7, 8 and 56.
+  auto n = t.switch_neighbors(0);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<SwitchId>{1, 7, 8, 56}));
+}
+
+TEST(Torus2D, MaxDistanceIsHalfPerimeter) {
+  const Topology t = make_torus_2d(8, 8, 1);
+  const auto d = t.switch_distances_from(0);
+  EXPECT_EQ(*std::max_element(d.begin(), d.end()), 8);  // 4 + 4
+}
+
+TEST(Torus2D, AverageDistanceMatchesClosedForm) {
+  // Ring of 8 has mean one-way distance 2 per dimension; over ordered
+  // pairs excluding self: 4 * 64 / 63 = 4.0635 (the paper's 4.06).
+  const Topology t = make_torus_2d(8, 8, 1);
+  const auto all = t.all_switch_distances();
+  double sum = 0;
+  for (int s = 0; s < 64; ++s) {
+    for (int d = 0; d < 64; ++d) {
+      if (s != d) sum += all[static_cast<std::size_t>(s) * 64 + d];
+    }
+  }
+  EXPECT_NEAR(sum / (64 * 63), 4.0635, 0.001);
+}
+
+TEST(Torus2D, RejectsTooSmall) {
+  EXPECT_THROW(make_torus_2d(1, 8, 1), std::invalid_argument);
+}
+
+TEST(TorusExpress, PaperDimensions) {
+  const Topology t = make_torus_2d_express(8, 8, 8);
+  EXPECT_EQ(t.num_switches(), 64);
+  EXPECT_EQ(t.num_hosts(), 512);
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_TRUE(t.connected());
+  for (SwitchId s = 0; s < 64; ++s) {
+    EXPECT_EQ(t.switch_degree(s), 8);
+    EXPECT_EQ(t.free_ports(s), 0);  // paper: all 16 ports used
+  }
+  // Twice the fabric links of the plain torus.
+  EXPECT_EQ(t.num_cables() - 512, 2 * (make_torus_2d(8, 8, 8).num_cables() - 512));
+}
+
+TEST(TorusExpress, ExpressHalvesDistances) {
+  const Topology plain = make_torus_2d(8, 8, 1);
+  const Topology express = make_torus_2d_express(8, 8, 1);
+  const auto dp = plain.switch_distances_from(0);
+  const auto de = express.switch_distances_from(0);
+  double sp = 0, se = 0;
+  for (int i = 0; i < 64; ++i) {
+    sp += dp[static_cast<std::size_t>(i)];
+    se += de[static_cast<std::size_t>(i)];
+    EXPECT_LE(de[static_cast<std::size_t>(i)], dp[static_cast<std::size_t>(i)]);
+  }
+  // "average distance to message destinations is almost reduced to the
+  // half" (§4.7.1).
+  EXPECT_LT(se, 0.65 * sp);
+}
+
+TEST(TorusExpress, SecondOrderNeighbors) {
+  const Topology t = make_torus_2d_express(8, 8, 1);
+  auto n = t.switch_neighbors(0);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<SwitchId>{1, 2, 6, 7, 8, 16, 48, 56}));
+}
+
+TEST(TorusExpress, RejectsBelow5) {
+  EXPECT_THROW(make_torus_2d_express(4, 8, 1), std::invalid_argument);
+}
+
+TEST(Cplant, PaperDimensions) {
+  const Topology t = make_cplant();
+  EXPECT_EQ(t.num_switches(), 50);
+  EXPECT_EQ(t.num_hosts(), 400);  // 8 hosts on each of 50 switches
+  EXPECT_EQ(t.ports_per_switch(), 16);
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_TRUE(t.connected());
+  for (SwitchId s = 0; s < 50; ++s) {
+    EXPECT_EQ(t.hosts_of_switch(s).size(), 8u);
+  }
+}
+
+TEST(Cplant, GroupStructure) {
+  const Topology t = make_cplant();
+  // Intra-group: every switch in groups 0..5 has >= 4 same-group
+  // neighbours (3-cube + complement).
+  for (int g = 0; g < 6; ++g) {
+    for (int i = 0; i < 8; ++i) {
+      const SwitchId s = g * 8 + i;
+      int intra = 0;
+      for (const SwitchId n : t.switch_neighbors(s)) {
+        if (n / 8 == g && n < 48) ++intra;
+      }
+      EXPECT_EQ(intra, 4) << "switch " << s;
+    }
+  }
+  // Complement cable exists: switch i and i^7 adjacent within a group.
+  for (int g = 0; g < 6; ++g) {
+    const auto n = t.switch_neighbors(g * 8);
+    EXPECT_NE(std::find(n.begin(), n.end(), g * 8 + 7), n.end());
+  }
+  // Extra switches 48/49 fan out to all of group 0 / group 1.
+  auto n48 = t.switch_neighbors(48);
+  std::sort(n48.begin(), n48.end());
+  EXPECT_EQ(n48, (std::vector<SwitchId>{0, 1, 2, 3, 4, 5, 6, 7}));
+  auto n49 = t.switch_neighbors(49);
+  std::sort(n49.begin(), n49.end());
+  EXPECT_EQ(n49, (std::vector<SwitchId>{8, 9, 10, 11, 12, 13, 14, 15}));
+}
+
+TEST(Cplant, PortBudgetRespected) {
+  const Topology t = make_cplant();
+  for (SwitchId s = 0; s < 50; ++s) {
+    EXPECT_GE(t.free_ports(s), 0);
+    EXPECT_LE(t.switch_degree(s) + 8, 16);
+  }
+}
+
+TEST(Hypercube, StructureAndDistance) {
+  const Topology t = make_hypercube(4, 2, 8);
+  EXPECT_EQ(t.num_switches(), 16);
+  EXPECT_EQ(t.num_hosts(), 32);
+  EXPECT_TRUE(t.validate().empty());
+  for (SwitchId s = 0; s < 16; ++s) EXPECT_EQ(t.switch_degree(s), 4);
+  // Distance equals popcount of XOR.
+  const auto d = t.switch_distances_from(0);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(d[static_cast<std::size_t>(i)], __builtin_popcount(i));
+  }
+}
+
+TEST(Mesh2D, NoWraparound) {
+  const Topology t = make_mesh_2d(3, 3, 1);
+  EXPECT_EQ(t.num_switches(), 9);
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_EQ(t.switch_degree(0), 2);  // corner
+  EXPECT_EQ(t.switch_degree(4), 4);  // centre
+  const auto d = t.switch_distances_from(0);
+  EXPECT_EQ(d[8], 4);  // opposite corner: Manhattan distance
+}
+
+class IrregularProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrregularProperty, AlwaysConnectedAndValid) {
+  Rng rng(GetParam());
+  const Topology t = make_irregular(16, 4, 6, rng);
+  EXPECT_TRUE(t.connected());
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_EQ(t.num_hosts(), 64);
+  for (SwitchId s = 0; s < 16; ++s) {
+    EXPECT_EQ(t.hosts_of_switch(s).size(), 4u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrregularProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(Irregular, DeterministicForSeed) {
+  Rng a(99), b(99);
+  const Topology ta = make_irregular(12, 2, 5, a);
+  const Topology tb = make_irregular(12, 2, 5, b);
+  ASSERT_EQ(ta.num_cables(), tb.num_cables());
+  for (CableId c = 0; c < ta.num_cables(); ++c) {
+    EXPECT_EQ(ta.cable(c).a.sw, tb.cable(c).a.sw);
+    EXPECT_EQ(ta.cable(c).b.sw, tb.cable(c).b.sw);
+  }
+}
+
+TEST(Irregular, RejectsPortOverflow) {
+  Rng rng(1);
+  EXPECT_THROW(make_irregular(4, 10, 8, rng, 16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace itb

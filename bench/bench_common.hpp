@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/pool.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
@@ -67,6 +68,18 @@ inline void print_header(const char* experiment, const char* what) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", experiment, what);
   std::printf("==============================================================\n");
+}
+
+/// Parallel grid runner: evaluate `fn(i)` for each of `n` independent
+/// (testbed × scheme × pattern) cells across `opts.jobs` workers and
+/// return the results in cell order.  Each cell must construct all of its
+/// mutable state inside `fn` (shared Testbeds must be warmed first), so
+/// the results are identical to running the cells serially — printing is
+/// then done from the ordered results, keeping output byte-stable.
+template <typename R, typename Fn>
+[[nodiscard]] std::vector<R> run_grid(int n, const BenchOptions& opts,
+                                      Fn&& fn) {
+  return parallel_map<R>(n, opts.jobs, std::forward<Fn>(fn));
 }
 
 }  // namespace itb::bench

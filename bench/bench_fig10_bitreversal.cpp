@@ -4,6 +4,8 @@
 // the paper.
 #include "bench_common.hpp"
 
+#include <memory>
+
 using namespace itb;
 using namespace itb::bench;
 
@@ -25,23 +27,41 @@ int main(int argc, char** argv) {
   const BenchOptions opts = parse_bench_args(argc, argv);
   print_header("Figure 10", "bit-reversal traffic: latency vs accepted traffic");
 
+  constexpr int kNetworks = 2;
+  const int schemes = static_cast<int>(paper_schemes().size());
+
+  std::vector<Testbed> testbeds;
+  std::vector<std::unique_ptr<BitReversalPattern>> patterns;
   for (const Anchor& anchor : kAnchors) {
-    Testbed tb = make_testbed(anchor.testbed);
-    BitReversalPattern pattern(tb.topo().num_hosts());
+    testbeds.push_back(make_testbed(anchor.testbed));
+    testbeds.back().warm_all();
+    patterns.push_back(std::make_unique<BitReversalPattern>(
+        testbeds.back().topo().num_hosts()));
+  }
+
+  const auto results = run_grid<SaturationResult>(
+      kNetworks * schemes, opts, [&](int cell) {
+        const int ti = cell / schemes;
+        const int si = cell % schemes;
+        RunConfig cfg = default_config(opts);
+        return find_saturation(testbeds[ti], paper_schemes()[si],
+                               *patterns[ti], cfg,
+                               start_load(kAnchors[ti].testbed),
+                               opts.fast ? 1.45 : 1.25, opts.fast ? 10 : 18);
+      });
+
+  for (int ti = 0; ti < kNetworks; ++ti) {
+    const Anchor& anchor = kAnchors[ti];
     std::printf("\n--- %s ---\n", anchor.testbed);
     double sat[3] = {0, 0, 0};
-    for (std::size_t i = 0; i < paper_schemes().size(); ++i) {
-      const RoutingScheme scheme = paper_schemes()[i];
-      RunConfig cfg = default_config(opts);
-      const auto res =
-          find_saturation(tb, scheme, pattern, cfg, start_load(anchor.testbed),
-                          opts.fast ? 1.45 : 1.25, opts.fast ? 10 : 18);
-      sat[i] = res.throughput;
+    for (int si = 0; si < schemes; ++si) {
+      const SaturationResult& res = results[ti * schemes + si];
+      sat[si] = res.throughput;
       print_series(std::cout,
                    std::string("fig10 ") + anchor.testbed + " bit-reversal",
-                   to_string(scheme), res.trace);
+                   to_string(paper_schemes()[si]), res.trace);
       append_series_csv(opts.csv, std::string("fig10_") + anchor.testbed,
-                        to_string(scheme), res.trace);
+                        to_string(paper_schemes()[si]), res.trace);
     }
     std::printf("\nsaturation throughput, %s (bit-reversal):\n",
                 anchor.testbed);

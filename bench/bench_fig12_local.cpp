@@ -6,6 +6,8 @@
 // vanishes (express, CPLANT) — but ITB never *hurts*.
 #include "bench_common.hpp"
 
+#include <memory>
+
 using namespace itb;
 using namespace itb::bench;
 
@@ -28,22 +30,52 @@ int main(int argc, char** argv) {
   const BenchOptions opts = parse_bench_args(argc, argv);
   print_header("Figure 12", "local traffic (<=3 switches): latency vs traffic");
 
+  // Grid cells: 3 networks × 3 schemes at radius 3, plus the §4.2
+  // torus/radius-4 variant as 3 extra cells — all concurrent.
+  constexpr int kNetworks = 3;
+  const int schemes = static_cast<int>(paper_schemes().size());
+
+  std::vector<Testbed> testbeds;
+  std::vector<std::unique_ptr<LocalPattern>> patterns;
   for (const Anchor& anchor : kAnchors) {
-    Testbed tb = make_testbed(anchor.testbed);
-    LocalPattern pattern(tb.topo(), 3);
+    testbeds.push_back(make_testbed(anchor.testbed));
+    testbeds.back().warm_all();
+    patterns.push_back(std::make_unique<LocalPattern>(
+        testbeds.back().topo(), 3));
+  }
+  Testbed torus4 = make_testbed("torus");
+  torus4.warm_all();
+  LocalPattern torus4_pattern(torus4.topo(), 4);
+
+  const int grid_cells = kNetworks * schemes;
+  const auto results = run_grid<SaturationResult>(
+      grid_cells + schemes, opts, [&](int cell) {
+        RunConfig cfg = default_config(opts);
+        if (cell < grid_cells) {
+          const int ti = cell / schemes;
+          const int si = cell % schemes;
+          return find_saturation(testbeds[ti], paper_schemes()[si],
+                                 *patterns[ti], cfg, 0.04,
+                                 opts.fast ? 1.5 : 1.3, opts.fast ? 9 : 14);
+        }
+        const int si = cell - grid_cells;
+        return find_saturation(torus4, paper_schemes()[si], torus4_pattern,
+                               cfg, 0.02, opts.fast ? 1.5 : 1.3,
+                               opts.fast ? 9 : 14);
+      });
+
+  for (int ti = 0; ti < kNetworks; ++ti) {
+    const Anchor& anchor = kAnchors[ti];
     std::printf("\n--- %s, destinations <= 3 switches away ---\n",
                 anchor.testbed);
     double sat[3] = {0, 0, 0};
-    for (std::size_t i = 0; i < paper_schemes().size(); ++i) {
-      RunConfig cfg = default_config(opts);
-      const auto res = find_saturation(tb, paper_schemes()[i], pattern, cfg,
-                                       0.04, opts.fast ? 1.5 : 1.3,
-                                       opts.fast ? 9 : 14);
-      sat[i] = res.throughput;
+    for (int si = 0; si < schemes; ++si) {
+      const SaturationResult& res = results[ti * schemes + si];
+      sat[si] = res.throughput;
       print_series(std::cout, std::string("fig12 ") + anchor.testbed + " local3",
-                   to_string(paper_schemes()[i]), res.trace);
+                   to_string(paper_schemes()[si]), res.trace);
       append_series_csv(opts.csv, std::string("fig12_") + anchor.testbed,
-                        to_string(paper_schemes()[i]), res.trace);
+                        to_string(paper_schemes()[si]), res.trace);
     }
     std::printf("saturation: UP/DOWN %.4f  ITB-SP %.4f  ITB-RR %.4f "
                 "(paper ~%.2f vs ~%.2f)\n",
@@ -52,21 +84,13 @@ int main(int argc, char** argv) {
                 sat[2] / sat[0], sat[2] >= 0.9 * sat[0] ? "OK" : "VIOLATED");
   }
 
-  // §4.2 variant: local distribution with 4-switch radius on the torus.
-  {
-    Testbed tb = make_testbed("torus");
-    LocalPattern pattern(tb.topo(), 4);
-    std::printf("\n--- torus, destinations <= 4 switches away ---\n");
-    for (const RoutingScheme scheme : paper_schemes()) {
-      RunConfig cfg = default_config(opts);
-      const auto res = find_saturation(tb, scheme, pattern, cfg, 0.02,
-                                       opts.fast ? 1.5 : 1.3,
-                                       opts.fast ? 9 : 14);
-      std::printf("  %-8s saturation %.4f\n", to_string(scheme),
-                  res.throughput);
-      append_series_csv(opts.csv, "fig12_torus_local4", to_string(scheme),
-                        res.trace);
-    }
+  std::printf("\n--- torus, destinations <= 4 switches away ---\n");
+  for (int si = 0; si < schemes; ++si) {
+    const SaturationResult& res = results[grid_cells + si];
+    std::printf("  %-8s saturation %.4f\n", to_string(paper_schemes()[si]),
+                res.throughput);
+    append_series_csv(opts.csv, "fig12_torus_local4",
+                      to_string(paper_schemes()[si]), res.trace);
   }
   return 0;
 }

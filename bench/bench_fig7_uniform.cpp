@@ -4,8 +4,13 @@
 //
 // Prints one latency/traffic series per (network, scheme) — the data
 // behind each curve of the figure — followed by the saturation throughput
-// of every scheme next to the paper's reported value.
+// of every scheme next to the paper's reported value.  The nine
+// (network, scheme) cells are independent simulations and run
+// concurrently across --jobs workers; results are printed in cell order.
 #include "bench_common.hpp"
+
+#include <iterator>
+#include <memory>
 
 namespace {
 
@@ -29,24 +34,43 @@ int main(int argc, char** argv) {
   const BenchOptions opts = parse_bench_args(argc, argv);
   print_header("Figure 7", "uniform traffic: latency vs accepted traffic");
 
-  for (const Anchor& anchor : kAnchors) {
-    Testbed tb = make_testbed(anchor.testbed);
-    UniformPattern pattern(tb.topo().num_hosts());
-    std::printf("\n--- %s (%d switches, %d hosts) ---\n", anchor.testbed,
-                tb.topo().num_switches(), tb.topo().num_hosts());
+  constexpr int kNetworks = static_cast<int>(std::size(kAnchors));
+  const int schemes = static_cast<int>(paper_schemes().size());
 
+  // Shared, warmed testbeds: one per network, read-only during the grid.
+  std::vector<Testbed> testbeds;
+  std::vector<std::unique_ptr<UniformPattern>> patterns;
+  for (const Anchor& anchor : kAnchors) {
+    testbeds.push_back(make_testbed(anchor.testbed));
+    testbeds.back().warm_all();
+    patterns.push_back(
+        std::make_unique<UniformPattern>(testbeds.back().topo().num_hosts()));
+  }
+
+  const auto results = run_grid<SaturationResult>(
+      kNetworks * schemes, opts, [&](int cell) {
+        const int ti = cell / schemes;
+        const int si = cell % schemes;
+        RunConfig cfg = default_config(opts);
+        return find_saturation(testbeds[ti], paper_schemes()[si],
+                               *patterns[ti], cfg,
+                               start_load(kAnchors[ti].testbed),
+                               opts.fast ? 1.45 : 1.25, opts.fast ? 10 : 18);
+      });
+
+  for (int ti = 0; ti < kNetworks; ++ti) {
+    const Anchor& anchor = kAnchors[ti];
+    std::printf("\n--- %s (%d switches, %d hosts) ---\n", anchor.testbed,
+                testbeds[ti].topo().num_switches(),
+                testbeds[ti].topo().num_hosts());
     double sat[3] = {0, 0, 0};
-    for (std::size_t i = 0; i < paper_schemes().size(); ++i) {
-      const RoutingScheme scheme = paper_schemes()[i];
-      RunConfig cfg = default_config(opts);
-      const auto res =
-          find_saturation(tb, scheme, pattern, cfg, start_load(anchor.testbed),
-                          opts.fast ? 1.45 : 1.25, opts.fast ? 10 : 18);
-      sat[i] = res.throughput;
+    for (int si = 0; si < schemes; ++si) {
+      const SaturationResult& res = results[ti * schemes + si];
+      sat[si] = res.throughput;
       print_series(std::cout, std::string("fig7 ") + anchor.testbed + " uniform",
-                   to_string(scheme), res.trace);
+                   to_string(paper_schemes()[si]), res.trace);
       append_series_csv(opts.csv, std::string("fig7_") + anchor.testbed,
-                        to_string(scheme), res.trace);
+                        to_string(paper_schemes()[si]), res.trace);
     }
     std::printf("\nsaturation throughput (flits/ns/switch), %s:\n",
                 anchor.testbed);

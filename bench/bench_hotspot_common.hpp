@@ -1,9 +1,16 @@
 // Shared machinery for the hotspot throughput tables (Tables 1-3): pick
 // seeded random hotspot locations, find each scheme's saturation
 // throughput, and print a paper-style table plus averages.
+//
+// The (fraction × location × scheme) cells are independent simulations;
+// they run concurrently across opts.jobs workers (one shared, warmed
+// Testbed) and the tables are printed from the index-ordered results, so
+// the output matches a serial run exactly.
 #pragma once
 
 #include "bench_common.hpp"
+
+#include <memory>
 
 #include "sim/rng.hpp"
 
@@ -32,26 +39,49 @@ inline HotspotTableResult run_hotspot_table(
     const std::string& testbed_name, const std::vector<double>& fractions,
     const BenchOptions& opts, std::uint64_t location_seed = 2000) {
   Testbed tb = make_testbed(testbed_name);
+  tb.warm_all();
   const int locations = opts.fast ? 3 : 10;
   const auto spots =
       hotspot_locations(tb.topo().num_hosts(), locations, location_seed);
 
-  HotspotTableResult result;
+  const int schemes = static_cast<int>(paper_schemes().size());
+  const int cells_per_fraction = locations * schemes;
+  const int cells = static_cast<int>(fractions.size()) * cells_per_fraction;
+
+  // Patterns are immutable once built; share one per (fraction, location).
+  std::vector<std::unique_ptr<HotspotPattern>> patterns;
   for (const double frac : fractions) {
-    std::printf("\n%.0f %% hotspot traffic, %s:\n", frac * 100.0,
+    for (const HostId spot : spots) {
+      patterns.push_back(std::make_unique<HotspotPattern>(
+          tb.topo().num_hosts(), spot, frac));
+    }
+  }
+
+  const auto sats = run_grid<SaturationResult>(cells, opts, [&](int cell) {
+    const int fi = cell / cells_per_fraction;
+    const int li = (cell % cells_per_fraction) / schemes;
+    const int si = cell % schemes;
+    RunConfig cfg = default_config(opts);
+    return find_saturation(tb, paper_schemes()[static_cast<std::size_t>(si)],
+                           *patterns[static_cast<std::size_t>(
+                               fi * locations + li)],
+                           cfg, start_load(testbed_name) * 0.7,
+                           opts.fast ? 1.5 : 1.3, opts.fast ? 9 : 14);
+  });
+
+  HotspotTableResult result;
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    std::printf("\n%.0f %% hotspot traffic, %s:\n", fractions[fi] * 100.0,
                 testbed_name.c_str());
     TextTable table({"Hotspot", "U/D", "ITB-SP", "ITB-RR"});
     std::vector<double> sums(paper_schemes().size(), 0.0);
-    for (std::size_t li = 0; li < spots.size(); ++li) {
-      HotspotPattern pattern(tb.topo().num_hosts(), spots[li], frac);
+    for (int li = 0; li < locations; ++li) {
       std::vector<std::string> row{std::to_string(li + 1)};
-      for (std::size_t si = 0; si < paper_schemes().size(); ++si) {
-        RunConfig cfg = default_config(opts);
-        const auto sat = find_saturation(
-            tb, paper_schemes()[si], pattern, cfg,
-            start_load(testbed_name) * 0.7, opts.fast ? 1.5 : 1.3,
-            opts.fast ? 9 : 14);
-        sums[si] += sat.throughput;
+      for (int si = 0; si < schemes; ++si) {
+        const SaturationResult& sat =
+            sats[static_cast<std::size_t>(fi) * cells_per_fraction +
+                 static_cast<std::size_t>(li * schemes + si)];
+        sums[static_cast<std::size_t>(si)] += sat.throughput;
         row.push_back(fmt_load(sat.throughput));
       }
       table.add_row(std::move(row));

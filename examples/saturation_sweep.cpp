@@ -41,9 +41,15 @@ int main(int argc, char** argv) {
   const auto sat = find_saturation(tb, scheme, pattern, cfg, 0.006, 1.25, 18);
   print_series(std::cout, topo_name + " uniform", to_string(scheme),
                sat.trace);
-  std::printf("\nsaturation throughput: %.4f flits/ns/switch "
-              "(first saturating load %.4f)\n",
-              sat.throughput, sat.saturating_load);
+  if (sat.saturated) {
+    std::printf("\nsaturation throughput: %.4f flits/ns/switch "
+                "(first saturating load %.4f)\n",
+                sat.throughput, sat.saturating_load);
+  } else {
+    std::printf("\nladder exhausted without saturating; highest accepted "
+                "%.4f flits/ns/switch at load %.4f\n",
+                sat.throughput, sat.saturating_load);
+  }
   if (!csv.empty()) {
     append_series_csv(csv, topo_name, to_string(scheme), sat.trace);
     std::printf("series appended to %s\n", csv.c_str());

@@ -120,6 +120,9 @@ void emit_result(JsonWriter& w, const RunResult& r) {
   w.key("delivered").value(r.delivered);
   w.key("spills").value(r.spills);
   w.key("saturated").value(r.saturated);
+  w.key("wall_ms").value(r.wall_ms);
+  w.key("events").value(r.events);
+  w.key("events_per_sec").value(r.events_per_sec);
   w.end_object();
 }
 }  // namespace

@@ -1,0 +1,97 @@
+#include "harness/pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace itb {
+
+int default_jobs() {
+  if (const char* env = std::getenv("ITB_BENCH_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop();
+      ++busy_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+      if (queue_.empty() && busy_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+namespace detail {
+
+void pooled_for(int n, int threads, const std::function<void(int)>& fn) {
+  ThreadPool pool(threads);
+  std::atomic<int> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  // One self-scheduling job per worker: each pulls the next index until
+  // the range is exhausted, so imbalanced points don't idle a worker.
+  for (int w = 0; w < threads; ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+}  // namespace itb

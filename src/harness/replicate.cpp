@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "harness/pool.hpp"
+
 namespace itb {
 
 namespace {
@@ -17,18 +19,26 @@ double ci95(const RunningStats& s) {
 double ReplicatedResult::accepted_ci95() const { return ci95(accepted); }
 double ReplicatedResult::latency_ci95_ns() const { return ci95(latency_ns); }
 
-ReplicatedResult run_replicated(Testbed& tb, RoutingScheme scheme,
+ReplicatedResult run_replicated(const Testbed& tb, RoutingScheme scheme,
                                 const DestinationPattern& pattern,
-                                RunConfig cfg, int replications) {
+                                RunConfig cfg, int replications, int jobs) {
   ReplicatedResult out;
   const std::uint64_t base_seed = cfg.seed;
-  for (int k = 0; k < replications; ++k) {
-    cfg.seed = base_seed + static_cast<std::uint64_t>(k) * 0x9e3779b9ULL + 1;
-    RunResult r = run_point(tb, scheme, pattern, cfg);
+  if (jobs > 1 && replications > 1) tb.warm(scheme);
+  // Index-ordered slots: replication k's seed depends only on k, so which
+  // worker runs it cannot change the result.
+  out.runs = parallel_map<RunResult>(replications, jobs, [&](int k) {
+    RunConfig rep_cfg = cfg;
+    rep_cfg.seed =
+        base_seed + static_cast<std::uint64_t>(k) * 0x9e3779b9ULL + 1;
+    return run_point(tb, scheme, pattern, rep_cfg);
+  });
+  // Aggregate in index order — the same accumulation sequence as a serial
+  // run, so means/variances match bit-for-bit.
+  for (const RunResult& r : out.runs) {
     out.accepted.add(r.accepted);
     out.latency_ns.add(r.avg_latency_ns);
     if (r.saturated) ++out.saturated_count;
-    out.runs.push_back(std::move(r));
   }
   return out;
 }

@@ -4,6 +4,12 @@
 // give a mean and a proper confidence interval over the seed ensemble —
 // the methodology behind error bars on simulation studies (the paper ran
 // 10 hotspot locations in exactly this spirit).
+//
+// `jobs` > 1 fans the replications across a worker pool.  Each
+// replication's seed is derived from its index alone (base_seed + k), the
+// results land in index-ordered slots, and the aggregation loop runs over
+// those slots in index order afterwards — so the aggregate statistics are
+// bit-identical to a serial run (asserted by test_parallel).
 #pragma once
 
 #include <vector>
@@ -26,9 +32,9 @@ struct ReplicatedResult {
 };
 
 /// Run `replications` copies of the experiment with derived seeds
-/// (base_seed + k) and aggregate.
+/// (base_seed + k) and aggregate; `jobs` workers run them concurrently.
 [[nodiscard]] ReplicatedResult run_replicated(
-    Testbed& tb, RoutingScheme scheme, const DestinationPattern& pattern,
-    RunConfig cfg, int replications);
+    const Testbed& tb, RoutingScheme scheme, const DestinationPattern& pattern,
+    RunConfig cfg, int replications, int jobs = 1);
 
 }  // namespace itb

@@ -1,5 +1,7 @@
 #include "harness/report.hpp"
 
+#include "harness/pool.hpp"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,14 +29,16 @@ void print_series(std::ostream& os, const std::string& title,
                   const std::vector<SweepPoint>& series) {
   os << "# " << title << " — " << scheme << "\n";
   os << "  offered    accepted   latency(ns)  lat-gen(ns)   p99(ns)  itb/msg"
-     << "  sat\n";
+     << "  sat   wall(ms)   Mev/s\n";
   for (const SweepPoint& p : series) {
     const RunResult& r = p.result;
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof buf,
-                  "  %8.4f   %8.4f   %10.1f   %10.1f  %8.1f   %6.2f  %s\n",
+                  "  %8.4f   %8.4f   %10.1f   %10.1f  %8.1f   %6.2f  %s "
+                  "%9.1f  %6.2f\n",
                   r.offered, r.accepted, r.avg_latency_ns, r.avg_latency_gen_ns,
-                  r.p99_latency_ns, r.avg_itbs, r.saturated ? "yes" : "no");
+                  r.p99_latency_ns, r.avg_itbs, r.saturated ? "yes" : "no ",
+                  r.wall_ms, r.events_per_sec / 1e6);
     os << buf;
   }
 }
@@ -49,14 +53,15 @@ void append_series_csv(const std::string& path, const std::string& experiment,
   std::ofstream os(path, std::ios::app);
   if (empty) {
     os << "experiment,scheme,offered,accepted,lat_net_ns,lat_gen_ns,p99_ns,"
-          "itbs_per_msg,saturated\n";
+          "itbs_per_msg,saturated,wall_ms,events_per_sec\n";
   }
   for (const SweepPoint& p : series) {
     const RunResult& r = p.result;
     os << experiment << ',' << scheme << ',' << r.offered << ',' << r.accepted
        << ',' << r.avg_latency_ns << ',' << r.avg_latency_gen_ns << ','
        << r.p99_latency_ns << ',' << r.avg_itbs << ','
-       << (r.saturated ? 1 : 0) << '\n';
+       << (r.saturated ? 1 : 0) << ',' << r.wall_ms << ','
+       << r.events_per_sec << '\n';
   }
 }
 
@@ -96,22 +101,50 @@ void TextTable::print(std::ostream& os) const {
   }
 }
 
+namespace {
+[[noreturn]] void bench_usage(const char* argv0, const std::string& error) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: " << (argv0 != nullptr ? argv0 : "bench")
+            << " [options]\n"
+               "  --fast       smoke-speed windows (also ITB_BENCH_FAST=1)\n"
+               "  --full       full-length windows (the default)\n"
+               "  --csv FILE   append every measured point as CSV\n"
+               "  --jobs N     worker threads for the parallel drivers\n"
+               "               (also ITB_BENCH_JOBS; default: hardware "
+               "concurrency)\n";
+  std::exit(2);
+}
+}  // namespace
+
 BenchOptions parse_bench_args(int argc, char** argv) {
   BenchOptions opts;
+  opts.jobs = default_jobs();
   const char* env = std::getenv("ITB_BENCH_FAST");
   if (env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0') {
     opts.fast = true;
   }
+  const char* argv0 = argc > 0 ? argv[0] : "bench";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       opts.fast = true;
     } else if (std::strcmp(argv[i], "--full") == 0) {
       opts.fast = false;
-    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      if (i + 1 >= argc) bench_usage(argv0, "--csv needs a file path");
       opts.csv = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) bench_usage(argv0, "--jobs needs a count");
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 1) {
+        bench_usage(argv0, std::string("bad --jobs value '") + argv[i] + "'");
+      }
+      opts.jobs = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      bench_usage(argv0, "");
     } else {
-      std::cerr << "unknown argument: " << argv[i]
-                << " (supported: --fast, --full, --csv FILE)\n";
+      bench_usage(argv0, std::string("unknown argument '") + argv[i] + "'");
     }
   }
   return opts;

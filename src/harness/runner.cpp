@@ -1,5 +1,7 @@
 #include "harness/runner.hpp"
 
+#include <chrono>
+
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -7,8 +9,9 @@
 
 namespace itb {
 
-RunResult run_point(Testbed& tb, RoutingScheme scheme,
+RunResult run_point(const Testbed& tb, RoutingScheme scheme,
                     const DestinationPattern& pattern, const RunConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
   Simulator sim;
   const RouteSet& routes = tb.routes(scheme);
   Network net(sim, tb.topo(), routes, cfg.params, policy_of(scheme),
@@ -64,7 +67,38 @@ RunResult run_point(Testbed& tb, RoutingScheme scheme,
   // The generator stops here; outstanding packets are abandoned with the
   // simulator (single-run scope), which is fine for open-loop measurement.
   gen.stop();
+
+  r.events = sim.events_executed();
+  const auto wall = std::chrono::steady_clock::now() - wall_start;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(wall).count();
+  r.events_per_sec =
+      r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3) : 0.0;
   return r;
+}
+
+bool same_simulated_metrics(const RunResult& a, const RunResult& b) {
+  if (a.link_util.size() != b.link_util.size()) return false;
+  for (std::size_t i = 0; i < a.link_util.size(); ++i) {
+    const ChannelUtil& u = a.link_util[i];
+    const ChannelUtil& v = b.link_util[i];
+    if (u.channel != v.channel || u.cable != v.cable ||
+        u.to_host != v.to_host || u.from_sw != v.from_sw ||
+        u.to_sw != v.to_sw || u.utilization != v.utilization ||
+        u.stopped_fraction != v.stopped_fraction) {
+      return false;
+    }
+  }
+  return a.offered == b.offered && a.accepted == b.accepted &&
+         a.avg_latency_ns == b.avg_latency_ns &&
+         a.avg_latency_gen_ns == b.avg_latency_gen_ns &&
+         a.p50_latency_ns == b.p50_latency_ns &&
+         a.p99_latency_ns == b.p99_latency_ns &&
+         a.latency_ci95_ns == b.latency_ci95_ns &&
+         a.avg_itbs == b.avg_itbs && a.delivered == b.delivered &&
+         a.spills == b.spills && a.fc_violations == b.fc_violations &&
+         a.max_buffer_occupancy == b.max_buffer_occupancy &&
+         a.saturated == b.saturated && a.events == b.events;
 }
 
 }  // namespace itb

@@ -1,5 +1,10 @@
 // Single simulation point: build a network, warm it up, measure a window,
 // and return the paper's metrics.
+//
+// Thread-safety: run_point constructs every piece of mutable state
+// (Simulator, Network, RNGs, collectors) per call and only reads the
+// shared Testbed/pattern, so independent points may run concurrently —
+// the contract the parallel drivers in replicate.hpp/sweep.hpp rely on.
 #pragma once
 
 #include <cstdint>
@@ -41,11 +46,24 @@ struct RunResult {
   int max_buffer_occupancy = 0;
   bool saturated = false;
   std::vector<ChannelUtil> link_util;  // when collect_link_util
+
+  // Wall-clock observability (host-side, excluded from determinism
+  // comparisons): how long the point took and how fast the engine ran.
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;      // simulator events executed by this point
+  double events_per_sec = 0.0;
 };
 
 /// Run one (testbed, scheme, pattern, load) point.
-[[nodiscard]] RunResult run_point(Testbed& tb, RoutingScheme scheme,
+[[nodiscard]] RunResult run_point(const Testbed& tb, RoutingScheme scheme,
                                   const DestinationPattern& pattern,
                                   const RunConfig& cfg);
+
+/// True when every simulated metric of `a` and `b` is bit-identical.
+/// Wall-clock fields (wall_ms, events_per_sec) are ignored — they vary
+/// between runs by construction.  This is the determinism predicate the
+/// serial-vs-parallel tests assert.
+[[nodiscard]] bool same_simulated_metrics(const RunResult& a,
+                                          const RunResult& b);
 
 }  // namespace itb

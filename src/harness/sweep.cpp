@@ -3,19 +3,45 @@
 #include <algorithm>
 #include <cmath>
 
+#include "harness/pool.hpp"
+
 namespace itb {
 
-std::vector<SweepPoint> sweep_loads(Testbed& tb, RoutingScheme scheme,
+std::vector<SweepPoint> sweep_loads(const Testbed& tb, RoutingScheme scheme,
                                     const DestinationPattern& pattern,
                                     RunConfig cfg,
-                                    const std::vector<double>& loads) {
-  std::vector<SweepPoint> out;
-  for (const double load : loads) {
-    cfg.load_flits_per_ns_per_switch = load;
-    out.push_back(SweepPoint{load, run_point(tb, scheme, pattern, cfg)});
-    if (out.back().result.saturated) break;
+                                    const std::vector<double>& loads,
+                                    int jobs) {
+  if (jobs <= 1 || loads.size() <= 1) {
+    std::vector<SweepPoint> out;
+    for (const double load : loads) {
+      cfg.load_flits_per_ns_per_switch = load;
+      out.push_back(SweepPoint{load, run_point(tb, scheme, pattern, cfg)});
+      if (out.back().result.saturated) break;
+    }
+    return out;
   }
-  return out;
+  // Speculative: run every ladder point concurrently, then trim to the
+  // serial early-stop shape (keep exactly one saturated point).  Points
+  // past the knee are wasted work, but the ladder is short and the win
+  // from running the pre-knee points in parallel dominates.
+  tb.warm(scheme);
+  std::vector<SweepPoint> all =
+      parallel_map<SweepPoint>(static_cast<int>(loads.size()), jobs, [&](int i) {
+        RunConfig point_cfg = cfg;
+        point_cfg.load_flits_per_ns_per_switch = loads[static_cast<std::size_t>(i)];
+        return SweepPoint{loads[static_cast<std::size_t>(i)],
+                          run_point(tb, scheme, pattern, point_cfg)};
+      });
+  std::size_t keep = all.size();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].result.saturated) {
+      keep = i + 1;
+      break;
+    }
+  }
+  all.resize(keep);
+  return all;
 }
 
 std::vector<double> geometric_loads(double lo, double hi, int points) {
@@ -44,7 +70,7 @@ std::vector<double> linear_loads(double lo, double hi, int points) {
   return out;
 }
 
-SaturationResult find_saturation(Testbed& tb, RoutingScheme scheme,
+SaturationResult find_saturation(const Testbed& tb, RoutingScheme scheme,
                                  const DestinationPattern& pattern,
                                  RunConfig cfg, double start_load,
                                  double growth, int max_points) {
@@ -55,8 +81,9 @@ SaturationResult find_saturation(Testbed& tb, RoutingScheme scheme,
     RunResult r = run_point(tb, scheme, pattern, cfg);
     res.trace.push_back(SweepPoint{load, r});
     res.throughput = std::max(res.throughput, r.accepted);
+    res.saturating_load = load;  // last load actually simulated
     if (r.saturated) {
-      res.saturating_load = load;
+      res.saturated = true;
       // Confirm the plateau with one clearly overloaded probe.
       cfg.load_flits_per_ns_per_switch = load * 1.5;
       RunResult over = run_point(tb, scheme, pattern, cfg);
@@ -66,7 +93,9 @@ SaturationResult find_saturation(Testbed& tb, RoutingScheme scheme,
     }
     load *= growth;
   }
-  res.saturating_load = load;
+  // Ladder exhausted without saturating: saturating_load holds the last
+  // load run (not the never-simulated next rung) and `saturated` is false.
+  if (res.trace.empty()) res.saturating_load = 0.0;
   return res;
 }
 

@@ -1,4 +1,11 @@
 // Load sweeps (latency/throughput curves) and saturation-point search.
+//
+// sweep_loads accepts a `jobs` worker count: with jobs > 1 the whole
+// ladder runs speculatively in parallel and the result is trimmed to the
+// serial early-stop semantics (everything up to and including the first
+// saturated point).  Every point is an independent simulation with the
+// same per-point config either way, so the kept points are bit-identical
+// to a serial run — asserted by test_parallel.
 #pragma once
 
 #include <vector>
@@ -14,9 +21,10 @@ struct SweepPoint {
 
 /// Run `cfg` at each load in `loads`, stopping early once a point
 /// saturates (one saturated point is kept so curves show the knee).
+/// `jobs` > 1 runs the ladder speculatively across that many workers.
 [[nodiscard]] std::vector<SweepPoint> sweep_loads(
-    Testbed& tb, RoutingScheme scheme, const DestinationPattern& pattern,
-    RunConfig cfg, const std::vector<double>& loads);
+    const Testbed& tb, RoutingScheme scheme, const DestinationPattern& pattern,
+    RunConfig cfg, const std::vector<double>& loads, int jobs = 1);
 
 /// Geometric load ladder from `lo` to `hi` with `points` entries.
 [[nodiscard]] std::vector<double> geometric_loads(double lo, double hi,
@@ -29,8 +37,11 @@ struct SaturationResult {
   /// Saturation throughput: the highest accepted traffic observed
   /// (flits/ns/switch) — the number the paper's tables report.
   double throughput = 0.0;
-  /// Offered load at which saturation was first detected.
+  /// Offered load at which saturation was first detected; when the ladder
+  /// exhausted without saturating, the last load actually simulated.
   double saturating_load = 0.0;
+  /// Whether a saturated point was seen before the ladder ran out.
+  bool saturated = false;
   std::vector<SweepPoint> trace;
 };
 
@@ -38,7 +49,7 @@ struct SaturationResult {
 /// `start_load` (factor `growth`) until a saturated point is seen, then
 /// probing one overloaded point to confirm the plateau.
 [[nodiscard]] SaturationResult find_saturation(
-    Testbed& tb, RoutingScheme scheme, const DestinationPattern& pattern,
+    const Testbed& tb, RoutingScheme scheme, const DestinationPattern& pattern,
     RunConfig cfg, double start_load, double growth = 1.25,
     int max_points = 24);
 

@@ -30,7 +30,24 @@ Testbed::Testbed(Topology topo, SwitchId root)
     : topo_(std::make_unique<Topology>(std::move(topo))),
       updown_(std::make_unique<UpDown>(*topo_, root)) {}
 
-const RouteSet& Testbed::routes(RoutingScheme s) {
+Testbed::Testbed(Testbed&& other) noexcept
+    : topo_(std::move(other.topo_)),
+      updown_(std::move(other.updown_)),
+      updown_routes_(std::move(other.updown_routes_)),
+      itb_routes_(std::move(other.itb_routes_)) {}
+
+Testbed& Testbed::operator=(Testbed&& other) noexcept {
+  if (this != &other) {
+    topo_ = std::move(other.topo_);
+    updown_ = std::move(other.updown_);
+    updown_routes_ = std::move(other.updown_routes_);
+    itb_routes_ = std::move(other.itb_routes_);
+  }
+  return *this;
+}
+
+const RouteSet& Testbed::routes(RoutingScheme s) const {
+  std::lock_guard<std::mutex> lock(build_mu_);
   if (s == RoutingScheme::kUpDown) {
     if (!updown_routes_) {
       const SimpleRoutes sr(*topo_, *updown_);
@@ -42,6 +59,11 @@ const RouteSet& Testbed::routes(RoutingScheme s) {
     itb_routes_.emplace(build_itb_routes(*topo_, *updown_));
   }
   return *itb_routes_;
+}
+
+void Testbed::warm_all() const {
+  warm(RoutingScheme::kUpDown);
+  warm(RoutingScheme::kItbSp);  // shared by all ITB schemes
 }
 
 }  // namespace itb

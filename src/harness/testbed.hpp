@@ -1,8 +1,15 @@
 // Ready-to-simulate bundle: a topology plus its up*/down* orientation and
 // lazily built routing tables for every scheme the paper compares.
+//
+// Thread-safety: table construction is guarded by an internal mutex, so
+// concurrent routes()/warm() calls from the parallel drivers are safe.
+// Once built, a table is never modified and the returned reference stays
+// valid for the Testbed's lifetime, so workers share it without locking.
+// Call warm() before fanning out to pre-build tables off the hot path.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -33,18 +40,33 @@ class Testbed {
   /// (the paper's torus uses the top-left switch, id 0).
   explicit Testbed(Topology topo, SwitchId root = 0);
 
+  // Movable (fresh mutex on the destination); moving is only safe before
+  // the Testbed is shared with workers, like any other non-atomic handoff.
+  Testbed(Testbed&& other) noexcept;
+  Testbed& operator=(Testbed&& other) noexcept;
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
   [[nodiscard]] const Topology& topo() const { return *topo_; }
   [[nodiscard]] const UpDown& updown() const { return *updown_; }
 
   /// Routing table for a scheme (built on first use, then cached).  All ITB
   /// schemes share one table and differ only in path policy.
-  [[nodiscard]] const RouteSet& routes(RoutingScheme s);
+  [[nodiscard]] const RouteSet& routes(RoutingScheme s) const;
+
+  /// Pre-build the table for `s` (idempotent).  Parallel drivers warm the
+  /// schemes they will run before fan-out so workers only ever read.
+  void warm(RoutingScheme s) const { (void)routes(s); }
+
+  /// Pre-build both tables (up*/down* and the shared ITB table).
+  void warm_all() const;
 
  private:
   std::unique_ptr<Topology> topo_;
   std::unique_ptr<UpDown> updown_;
-  std::optional<RouteSet> updown_routes_;
-  std::optional<RouteSet> itb_routes_;
+  mutable std::mutex build_mu_;
+  mutable std::optional<RouteSet> updown_routes_;
+  mutable std::optional<RouteSet> itb_routes_;
 };
 
 }  // namespace itb

@@ -20,6 +20,7 @@
 
 #include "core/route_io.hpp"
 #include "harness/json.hpp"
+#include "harness/pool.hpp"
 #include "harness/replicate.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
@@ -60,6 +61,10 @@ using namespace itb;
                "  --json           print results as JSON instead of a table\n"
                "  --replications N single-point mode: N seed replications "
                "with a 95%% CI\n"
+               "  --jobs N         worker threads for sweeps/replications\n"
+               "                   (also ITB_BENCH_JOBS; default: hardware\n"
+               "                   concurrency; results are identical for\n"
+               "                   every N)\n"
                "  --list-topology  print the topology description and exit\n"
                "  --dump-routes N  print routes whose first alternative uses\n"
                "                   >= N in-transit hosts, then exit\n",
@@ -141,6 +146,7 @@ int main(int argc, char** argv) {
   bool list_topology = false;
   bool as_json = false;
   int replications = 1;
+  int jobs = default_jobs();
   std::optional<int> dump_routes_min;
   RunConfig cfg;
 
@@ -166,6 +172,7 @@ int main(int argc, char** argv) {
       else if (arg == "--csv") csv = need_value(i);
       else if (arg == "--json") as_json = true;
       else if (arg == "--replications") replications = std::stoi(need_value(i));
+      else if (arg == "--jobs") jobs = std::stoi(need_value(i));
       else if (arg == "--list-topology") list_topology = true;
       else if (arg == "--dump-routes") dump_routes_min = std::stoi(need_value(i));
       else if (arg == "--help" || arg == "-h") usage(argv[0]);
@@ -174,6 +181,7 @@ int main(int argc, char** argv) {
       usage(argv[0], "bad value for " + arg);
     }
   }
+  if (jobs < 1) usage(argv[0], "--jobs must be >= 1");
 
   try {
     Topology topo = make_topology(topo_spec, argv[0]);
@@ -222,7 +230,7 @@ int main(int argc, char** argv) {
       const auto loads = geometric_loads(std::stod(parts[0]),
                                          std::stod(parts[1]),
                                          std::stoi(parts[2]));
-      const auto series = sweep_loads(tb, *scheme, *pattern, cfg, loads);
+      const auto series = sweep_loads(tb, *scheme, *pattern, cfg, loads, jobs);
       if (as_json) {
         std::printf("%s\n",
                     series_to_json(tb.topo().name() + "/" + pattern_spec,
@@ -236,7 +244,7 @@ int main(int argc, char** argv) {
     } else if (replications > 1) {
       cfg.load_flits_per_ns_per_switch = load;
       const ReplicatedResult rep =
-          run_replicated(tb, *scheme, *pattern, cfg, replications);
+          run_replicated(tb, *scheme, *pattern, cfg, replications, jobs);
       if (as_json) {
         JsonWriter w;
         w.begin_object();

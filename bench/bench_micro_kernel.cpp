@@ -1,11 +1,29 @@
-// Microbenchmarks (google-benchmark) for the simulator substrate: event
-// queue, RNG, routing-table construction and end-to-end simulation rate.
+// Microbenchmarks for the simulator substrate: event queues, RNG, routing
+// table construction and end-to-end simulation rate.
+//
+// Two modes:
+//  - default: the google-benchmark suite below.
+//  - `--json FILE [--fast]`: the PR perf record.  Runs the engine-kernel
+//    A/B (legacy std::function + 4-ary heap vs POD events + calendar
+//    queue, identical schedule shapes) and an end-to-end cross-engine
+//    run_point comparison, then writes the `micro_kernel` section consumed
+//    by tools/perf_check.py.  Run this binary first when regenerating
+//    BENCH_*.json — it starts the file fresh; bench_parallel_scaling
+//    merges its section afterwards.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
 #include "core/route_builder.hpp"
+#include "harness/json.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "harness/testbed.hpp"
 #include "net/network.hpp"
 #include "route/simple_routes.hpp"
 #include "route/updown.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -31,6 +49,23 @@ void BM_EventQueuePushPop(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_CalendarQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<TimePs> times(n);
+  for (auto& t : times) t = static_cast<TimePs>(rng.next_below(1'000'000));
+  for (auto _ : state) {
+    CalendarQueue q;
+    for (const TimePs t : times) {
+      q.push(t, EventKind::kCallback, 0, 0, nullptr);
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().at);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CalendarQueuePushPop)->Arg(1024)->Arg(65536);
 
 void BM_RngNextBelow(benchmark::State& state) {
   Rng rng(7);
@@ -89,6 +124,188 @@ void BM_SimulationEventRate(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulationEventRate)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --json mode: the engine-kernel A/B and end-to-end comparison behind the
+// committed BENCH_*.json perf record.
+// ---------------------------------------------------------------------------
+
+/// Steady-state churn shape shared by both kernels: hold `held` pending
+/// events, then `ops` times pop the minimum, dispatch it, and push one
+/// replacement a pseudo-random (precomputed, identical for both engines)
+/// delay later — the pop/push/dispatch mix of the simulation hot loop.
+constexpr std::size_t kHeld = 1024;
+constexpr std::size_t kDeltaMask = 8191;
+
+std::vector<TimePs> make_deltas() {
+  Rng rng(1234);
+  std::vector<TimePs> deltas(kDeltaMask + 1);
+  // Typical engine delays: chunk times ~50 ns, propagation ~50 ns, routing
+  // 150 ns => a handful of calendar buckets at 1024 ps per bucket.
+  for (auto& d : deltas) d = static_cast<TimePs>(rng.next_below(200'000));
+  return deltas;
+}
+
+struct KernelCtx {
+  std::uint64_t sink = 0;
+  void dispatch(std::int32_t ch, std::int32_t a) {
+    sink += static_cast<std::uint64_t>(ch) + static_cast<std::uint64_t>(a);
+  }
+};
+
+double legacy_kernel_ops_per_sec(std::uint64_t ops,
+                                 const std::vector<TimePs>& deltas) {
+  EventQueue q;
+  KernelCtx ctx;
+  std::size_t d = 0;
+  TimePs now = 0;
+  // Captures mirror the network's real closures ([this, ch, a]) and stay
+  // within std::function's small-buffer optimisation.
+  auto push = [&](TimePs at, std::int32_t ch, std::int32_t a) {
+    KernelCtx* c = &ctx;
+    q.push(at, [c, ch, a] { c->dispatch(ch, a); });
+  };
+  for (std::size_t i = 0; i < kHeld; ++i) {
+    push(deltas[d++ & kDeltaMask], static_cast<std::int32_t>(i), 1);
+  }
+  TimePs at = 0;
+  EventFn fn;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    q.pop_into(at, fn);
+    fn();
+    now = at;
+    push(now + deltas[d++ & kDeltaMask], static_cast<std::int32_t>(i & 1023),
+         2);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(ctx.sink);
+  return static_cast<double>(ops) / secs;
+}
+
+double pod_kernel_ops_per_sec(std::uint64_t ops,
+                              const std::vector<TimePs>& deltas) {
+  CalendarQueue q;
+  KernelCtx ctx;
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < kHeld; ++i) {
+    q.push(deltas[d++ & kDeltaMask], EventKind::kChunkSent,
+           static_cast<std::int32_t>(i), 1, nullptr);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const Event e = q.pop();
+    // The network's dispatch switch, reduced to its shape.
+    switch (e.kind) {
+      case EventKind::kChunkSent:
+      case EventKind::kChunkArrived:
+      case EventKind::kGoArrived:
+        ctx.dispatch(e.ch, e.a);
+        break;
+      default:
+        ctx.dispatch(e.ch, -e.a);
+        break;
+    }
+    const EventKind next = (i & 7) != 0U           ? EventKind::kChunkSent
+                           : ((i & 15) != 0U)      ? EventKind::kChunkArrived
+                                                   : EventKind::kGoArrived;
+    q.push(e.at + deltas[d++ & kDeltaMask], next,
+           static_cast<std::int32_t>(i & 1023), 2, nullptr);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(ctx.sink);
+  return static_cast<double>(ops) / secs;
+}
+
+RunResult end_to_end_point(const Testbed& tb, EngineKind engine,
+                           const BenchOptions& opts) {
+  UniformPattern pat(tb.topo().num_hosts());
+  RunConfig cfg;
+  cfg.load_flits_per_ns_per_switch = 0.02;
+  cfg.warmup = opts.fast ? us(40) : us(150);
+  cfg.measure = opts.fast ? us(100) : us(400);
+  cfg.engine = engine;
+  return run_point(tb, RoutingScheme::kItbRr, pat, cfg);
+}
+
+int run_json_mode(const BenchOptions& opts) {
+  const std::vector<TimePs> deltas = make_deltas();
+  const std::uint64_t ops = opts.fast ? 1'000'000 : 4'000'000;
+  // Warm both kernels once, then measure (first touch pages the calendar
+  // ring and the heap storage).
+  (void)legacy_kernel_ops_per_sec(ops / 10, deltas);
+  (void)pod_kernel_ops_per_sec(ops / 10, deltas);
+  const double legacy_ops = legacy_kernel_ops_per_sec(ops, deltas);
+  const double pod_ops = pod_kernel_ops_per_sec(ops, deltas);
+
+  Testbed tb(make_torus_2d(8, 8, 8));
+  tb.warm_all();
+  const RunResult legacy_e2e = end_to_end_point(tb, EngineKind::kLegacy, opts);
+  const RunResult pod_e2e = end_to_end_point(tb, EngineKind::kPod, opts);
+
+  std::printf("engine kernel (%zu held, %llu ops):\n", kHeld,
+              static_cast<unsigned long long>(ops));
+  std::printf("  legacy  %8.2f Mops/s\n", legacy_ops / 1e6);
+  std::printf("  pod     %8.2f Mops/s   speedup %.2fx\n", pod_ops / 1e6,
+              pod_ops / legacy_ops);
+  std::printf("end-to-end run_point (torus, ITB-RR, uniform 0.02):\n");
+  std::printf("  legacy  %8.2f Mev/s\n", legacy_e2e.events_per_sec / 1e6);
+  std::printf("  pod     %8.2f Mev/s   speedup %.2fx   coalesced %llu\n",
+              pod_e2e.events_per_sec / 1e6,
+              pod_e2e.events_per_sec / legacy_e2e.events_per_sec,
+              static_cast<unsigned long long>(pod_e2e.events_coalesced));
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("engine_kernel").begin_object();
+  w.key("held_events").value(static_cast<std::uint64_t>(kHeld));
+  w.key("ops").value(ops);
+  w.key("legacy_ops_per_sec").value(legacy_ops);
+  w.key("pod_ops_per_sec").value(pod_ops);
+  w.key("speedup").value(pod_ops / legacy_ops);
+  w.end_object();
+  w.key("end_to_end").begin_object();
+  w.key("testbed").value("torus");
+  w.key("scheme").value("ITB-RR");
+  w.key("load").value(0.02);
+  w.key("legacy_events_per_sec").value(legacy_e2e.events_per_sec);
+  w.key("pod_events_per_sec").value(pod_e2e.events_per_sec);
+  w.key("speedup").value(pod_e2e.events_per_sec / legacy_e2e.events_per_sec);
+  w.key("legacy_events").value(legacy_e2e.events);
+  w.key("pod_events").value(pod_e2e.events);
+  w.key("pod_events_coalesced").value(pod_e2e.events_coalesced);
+  w.key("pod_peak_event_queue_len").value(pod_e2e.peak_event_queue_len);
+  w.key("legacy_peak_event_queue_len").value(legacy_e2e.peak_event_queue_len);
+  w.end_object();
+  w.end_object();
+  write_json_section(opts.json, "micro_kernel", w.str());
+  std::printf("wrote micro_kernel section to %s\n", opts.json.c_str());
+
+  // Cross-engine sanity: same simulated outcome, or the numbers above are
+  // comparing different simulations.
+  if (legacy_e2e.delivered != pod_e2e.delivered ||
+      legacy_e2e.avg_latency_ns != pod_e2e.avg_latency_ns ||
+      pod_e2e.fc_violations != 0) {
+    std::printf("CROSS-ENGINE MISMATCH: results differ between engines\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return run_json_mode(itb::parse_bench_args(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,7 @@
 
 #include <chrono>
 
+#include "harness/json.hpp"
 #include "harness/replicate.hpp"
 
 using namespace itb;
@@ -79,5 +80,25 @@ int main(int argc, char** argv) {
               std::thread::hardware_concurrency(),
               deterministic ? "OK (all jobs values bit-identical)"
                             : "VIOLATED");
+
+  if (!opts.json.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("points").value(kPoints);
+    w.key("deterministic").value(deterministic);
+    w.key("samples").begin_array();
+    for (const Sample& s : samples) {
+      w.begin_object();
+      w.key("jobs").value(s.jobs);
+      w.key("wall_s").value(s.wall_s);
+      w.key("events").value(s.events);
+      w.key("events_per_sec").value(static_cast<double>(s.events) / s.wall_s);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    write_json_section(opts.json, "parallel_scaling", w.str());
+    std::printf("wrote parallel_scaling section to %s\n", opts.json.c_str());
+  }
   return deterministic ? 0 : 1;
 }

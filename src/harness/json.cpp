@@ -123,6 +123,8 @@ void emit_result(JsonWriter& w, const RunResult& r) {
   w.key("wall_ms").value(r.wall_ms);
   w.key("events").value(r.events);
   w.key("events_per_sec").value(r.events_per_sec);
+  w.key("peak_event_queue_len").value(r.peak_event_queue_len);
+  w.key("events_coalesced").value(r.events_coalesced);
   w.end_object();
 }
 }  // namespace

@@ -12,7 +12,7 @@ namespace itb {
 RunResult run_point(const Testbed& tb, RoutingScheme scheme,
                     const DestinationPattern& pattern, const RunConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
-  Simulator sim;
+  Simulator sim(cfg.engine);
   const RouteSet& routes = tb.routes(scheme);
   Network net(sim, tb.topo(), routes, cfg.params, policy_of(scheme),
               cfg.seed ^ 0x9e37u);
@@ -69,6 +69,8 @@ RunResult run_point(const Testbed& tb, RoutingScheme scheme,
   gen.stop();
 
   r.events = sim.events_executed();
+  r.peak_event_queue_len = sim.peak_queue_len();
+  r.events_coalesced = net.chunk_events_coalesced();
   const auto wall = std::chrono::steady_clock::now() - wall_start;
   r.wall_ms =
       std::chrono::duration<double, std::milli>(wall).count();
@@ -98,7 +100,9 @@ bool same_simulated_metrics(const RunResult& a, const RunResult& b) {
          a.avg_itbs == b.avg_itbs && a.delivered == b.delivered &&
          a.spills == b.spills && a.fc_violations == b.fc_violations &&
          a.max_buffer_occupancy == b.max_buffer_occupancy &&
-         a.saturated == b.saturated && a.events == b.events;
+         a.saturated == b.saturated && a.events == b.events &&
+         a.peak_event_queue_len == b.peak_event_queue_len &&
+         a.events_coalesced == b.events_coalesced;
 }
 
 }  // namespace itb

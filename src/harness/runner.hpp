@@ -14,6 +14,7 @@
 #include "harness/testbed.hpp"
 #include "metrics/link_util.hpp"
 #include "net/params.hpp"
+#include "sim/event.hpp"
 #include "traffic/patterns.hpp"
 
 namespace itb {
@@ -28,6 +29,9 @@ struct RunConfig {
   bool poisson = false;
   /// Also collect per-channel utilization over the measurement window.
   bool collect_link_util = false;
+  /// Event engine for this point (A/B benchmarking and the golden
+  /// cross-engine determinism tests; normally leave the default).
+  EngineKind engine = kDefaultEngine;
 };
 
 struct RunResult {
@@ -47,11 +51,14 @@ struct RunResult {
   bool saturated = false;
   std::vector<ChannelUtil> link_util;  // when collect_link_util
 
-  // Wall-clock observability (host-side, excluded from determinism
-  // comparisons): how long the point took and how fast the engine ran.
+  // Engine observability.  events / peak_event_queue_len / events_coalesced
+  // are deterministic for a fixed engine (and compared as such); wall_ms and
+  // events_per_sec are host-side and excluded from determinism comparisons.
   double wall_ms = 0.0;
   std::uint64_t events = 0;      // simulator events executed by this point
   double events_per_sec = 0.0;
+  std::uint64_t peak_event_queue_len = 0;  // pending-event high-water mark
+  std::uint64_t events_coalesced = 0;      // chunk arrivals elided (POD)
 };
 
 /// Run one (testbed, scheme, pattern, load) point.

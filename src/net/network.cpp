@@ -25,7 +25,10 @@ const char* to_string(PacketEvent e) {
 Network::Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
                  const MyrinetParams& params, PathPolicy policy,
                  std::uint64_t seed)
-    : sim_(&sim), topo_(&topo), routes_(&routes), params_(params) {
+    : sim_(&sim), topo_(&topo), routes_(&routes), params_(params),
+      pod_(sim.engine() == EngineKind::kPod),
+      coalesce_(pod_ && params.coalesce_chunk_flow) {
+  if (pod_) sim.set_pod_handler(this);
   if (params_.chunk_flits < 1 || params_.chunk_flits > 8) {
     throw std::invalid_argument(
         "Network: chunk_flits must be in [1, 8]; larger chunks could "
@@ -86,6 +89,48 @@ Network::Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
     n.selector = std::make_unique<PathSelector>(
         policy, topo.num_switches(),
         seeder.next_u64() ^ static_cast<std::uint64_t>(h));
+  }
+}
+
+void Network::handle_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kChunkSent: chunk_sent(e.ch, e.a); break;
+    case EventKind::kChunkArrived: chunk_arrived(e.ch, e.a); break;
+    case EventKind::kBurstArrived: burst_arrived(e.ch, e.a); break;
+    case EventKind::kStopArrived: stop_arrived(e.ch); break;
+    case EventKind::kGoArrived: go_arrived(e.ch); break;
+    case EventKind::kGrantDone: grant_done(e.ch); break;
+    case EventKind::kItbReady: itb_ready(static_cast<Packet*>(e.p)); break;
+    case EventKind::kCallback:
+      assert(false && "kCallback is dispatched by the Simulator");
+      break;
+  }
+}
+
+void Network::sched_event(TimePs delay, EventKind kind, ChannelId ch, int a) {
+  if (pod_) {
+    sim_->schedule_event_in(delay, kind, ch, a);
+    return;
+  }
+  switch (kind) {
+    case EventKind::kChunkSent:
+      sim_->schedule_in(delay, [this, ch, a] { chunk_sent(ch, a); });
+      break;
+    case EventKind::kChunkArrived:
+      sim_->schedule_in(delay, [this, ch, a] { chunk_arrived(ch, a); });
+      break;
+    case EventKind::kStopArrived:
+      sim_->schedule_in(delay, [this, ch] { stop_arrived(ch); });
+      break;
+    case EventKind::kGoArrived:
+      sim_->schedule_in(delay, [this, ch] { go_arrived(ch); });
+      break;
+    case EventKind::kGrantDone:
+      sim_->schedule_in(delay, [this, ch] { grant_done(ch); });
+      break;
+    default:
+      assert(false && "no legacy closure for this kind");
+      break;
   }
 }
 
@@ -157,6 +202,8 @@ void Network::nic_try_start(HostId h) {
   c.src_in_ch = -1;
   c.flow_len = p->leg_wire_flits;
   c.sent = 0;
+  c.coalesce_flow = false;  // receiver is a switch: arrivals are observable
+  c.burst_flits = 0;
   if (from_itb_queue) {
     // The leg being re-injected is p->current_leg *right now*; the ejection
     // that feeds it happened at the previous leg's end host.
@@ -208,14 +255,15 @@ void Network::try_send(ChannelId ch) {
   if (avail == 0) return;
   const int k = std::min(params_.chunk_flits, avail);
   c.sending = true;
-  sim_->schedule_in(static_cast<TimePs>(k) * params_.flit_time,
-                    [this, ch, k] { chunk_sent(ch, k); });
+  sched_event(static_cast<TimePs>(k) * params_.flit_time,
+              EventKind::kChunkSent, ch, k);
 }
 
 void Network::chunk_sent(ChannelId ch, int k) {
   Channel& c = chan(ch);
   assert(c.sending && c.owner != nullptr);
   c.sending = false;
+  const bool first_chunk = (c.sent == 0);
   c.sent += k;
   c.busy_accum += static_cast<TimePs>(k) * params_.flit_time;
 
@@ -228,12 +276,26 @@ void Network::chunk_sent(ChannelId ch, int k) {
     assert(in.occupancy >= 0);
     if (in.stop_sent && in.occupancy < params_.go_threshold_flits) {
       in.stop_sent = false;
-      const ChannelId in_ch = c.src_in_ch;
-      sim_->schedule_in(in.prop_delay, [this, in_ch] { go_arrived(in_ch); });
+      sched_event(in.prop_delay, EventKind::kGoArrived, c.src_in_ch);
     }
   }
 
-  sim_->schedule_in(c.prop_delay, [this, ch, k] { chunk_arrived(ch, k); });
+  if (c.coalesce_flow && !first_chunk) {
+    if (c.sent == c.flow_len) {
+      // Tail chunk: land it together with every suppressed flit, pushed at
+      // the exact moment the legacy engine pushes the tail arrival.
+      sched_event(c.prop_delay, EventKind::kBurstArrived, ch,
+                  c.burst_flits + k);
+    } else {
+      // Intermediate delivery arrival: a pure sink — elide the event.
+      c.burst_flits += k;
+      ++chunk_events_coalesced_;
+    }
+  } else {
+    // The first chunk always arrives as itself: it carries the header and
+    // opens the receiver entry.
+    sched_event(c.prop_delay, EventKind::kChunkArrived, ch, k);
+  }
 
   if (c.sent == c.flow_len) {
     sender_done(ch);
@@ -278,6 +340,8 @@ void Network::sender_done(ChannelId ch) {
   c.flow_eject_host = kNoHost;
   c.flow_len = 0;
   c.sent = 0;
+  c.coalesce_flow = false;
+  c.burst_flits = 0;
 
   if (c.from_switch) {
     grant_next(ch);
@@ -314,7 +378,7 @@ void Network::chunk_arrived(ChannelId ch, int k) {
     if (c.occupancy > params_.slack_buffer_flits) ++fc_violations_;
     if (!c.stop_sent && c.occupancy > params_.stop_threshold_flits) {
       c.stop_sent = true;
-      sim_->schedule_in(c.prop_delay, [this, ch] { stop_arrived(ch); });
+      sched_event(c.prop_delay, EventKind::kStopArrived, ch);
     }
     if (&c.entries.front() == entry && !entry->header_done) {
       process_header(ch);
@@ -336,6 +400,23 @@ void Network::chunk_arrived(ChannelId ch, int k) {
   }
 }
 
+void Network::burst_arrived(ChannelId ch, int flits) {
+  // Coalesced delivery tail: the suppressed intermediate flits and the tail
+  // chunk all land now, at the exact time the legacy per-chunk tail arrival
+  // fires.  The entry is necessarily the newest one on this NIC channel —
+  // the next flow cannot start arriving before our sender released the
+  // channel, which is also when this event was pushed.
+  Channel& c = chan(ch);
+  assert(!c.into_switch && c.dst_host != kNoHost);
+  assert(!c.entries.empty());
+  BufferEntry& e = c.entries.back();
+  assert(e.header_done && e.is_delivery);
+  e.arrived_raw += flits;
+  c.occupancy += flits;
+  assert(e.arrived_raw == e.total_flits);
+  deliver(ch, e);
+}
+
 void Network::process_header(ChannelId in_ch) {
   Channel& in = chan(in_ch);
   BufferEntry& e = in.entries.front();
@@ -344,7 +425,7 @@ void Network::process_header(ChannelId in_ch) {
   in.occupancy -= 1;  // the routing byte is consumed by the control unit
   if (in.stop_sent && in.occupancy < params_.go_threshold_flits) {
     in.stop_sent = false;
-    sim_->schedule_in(in.prop_delay, [this, in_ch] { go_arrived(in_ch); });
+    sched_event(in.prop_delay, EventKind::kGoArrived, in_ch);
   }
   Packet* p = e.pkt;
   emit_event(p, PacketEvent::kHeaderAtSwitch, in.dst_sw, kNoHost);
@@ -374,9 +455,15 @@ void Network::grant(ChannelId out_ch, ChannelId in_ch, Packet* pkt) {
   out.src_in_ch = in_ch;
   out.flow_len = in.entries.front().total_flits - 1;
   out.sent = 0;
+  // Final-leg flows into a NIC qualify for tail-burst coalescing: the
+  // classification is stable from here until the header reaches the NIC
+  // (current_leg only advances at in-transit hosts, before re-injection).
+  out.coalesce_flow =
+      coalesce_ && out.dst_host != kNoHost && pkt->on_final_leg();
+  out.burst_flits = 0;
   out.grant_pending = true;
   in.entries.front().out_ch = out_ch;
-  sim_->schedule_in(params_.routing_delay, [this, out_ch] { grant_done(out_ch); });
+  sched_event(params_.routing_delay, EventKind::kGrantDone, out_ch);
 }
 
 void Network::grant_done(ChannelId out_ch) {
@@ -450,7 +537,12 @@ void Network::nic_header_arrived(ChannelId in_ch, BufferEntry& entry) {
     entry.reserved_bytes = 0;
     ready_delay += params_.host_memory_penalty;
   }
-  sim_->schedule_in(ready_delay, [this, p] { itb_ready(p); });
+  if (pod_) {
+    sim_->schedule_event_in(ready_delay, EventKind::kItbReady, /*ch=*/-1,
+                            /*a=*/0, p);
+  } else {
+    sim_->schedule_in(ready_delay, [this, p] { itb_ready(p); });
+  }
 }
 
 void Network::itb_ready(Packet* p) {

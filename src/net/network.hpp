@@ -81,11 +81,15 @@ struct DeliveryRecord {
 
 using DeliveryCallback = std::function<void(const DeliveryRecord&)>;
 
-class Network {
+class Network : public PodHandler {
  public:
   Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
           const MyrinetParams& params, PathPolicy policy,
           std::uint64_t seed = 1);
+
+  /// POD-engine dispatch: one switch over EventKind, no type erasure.
+  /// Registered with the Simulator at construction (POD engine only).
+  void handle_event(const Event& e) override;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -112,6 +116,11 @@ class Network {
   [[nodiscard]] std::uint64_t itb_spills() const { return itb_spills_; }
   [[nodiscard]] std::uint64_t flow_control_violations() const {
     return fc_violations_;
+  }
+  /// Per-chunk arrival events elided by delivery tail-burst coalescing.
+  /// Zero on the legacy engine or when coalesce_chunk_flow is off.
+  [[nodiscard]] std::uint64_t chunk_events_coalesced() const {
+    return chunk_events_coalesced_;
   }
   /// Largest slack-buffer occupancy ever observed (flits).
   [[nodiscard]] int max_buffer_occupancy() const { return max_occupancy_; }
@@ -174,6 +183,12 @@ class Network {
     // sender-side dynamic state
     Packet* owner = nullptr;
     ChannelId src_in_ch = -1;  // feeding input buffer (switch senders)
+    // Delivery tail-burst coalescing (POD engine): when the flow streams a
+    // packet's final leg into a NIC, intermediate arrivals are pure sinks —
+    // suppress them, accumulate their flits, and land everything with the
+    // tail chunk as one kBurstArrived.
+    bool coalesce_flow = false;
+    int burst_flits = 0;       // suppressed flits awaiting the tail event
     // NIC senders: kNoHost when the flow streams from resident NIC memory
     // (a locally generated packet); otherwise the in-transit host whose
     // ejection entry bounds how much may be re-injected.  Snapshotted at
@@ -218,6 +233,7 @@ class Network {
   void try_send(ChannelId ch);
   void chunk_sent(ChannelId ch, int k);
   void chunk_arrived(ChannelId ch, int k);
+  void burst_arrived(ChannelId ch, int flits);
   void sender_done(ChannelId ch);
   void process_header(ChannelId in_ch);
   void request_output(ChannelId out_ch, ChannelId in_ch, PortId in_port,
@@ -239,6 +255,12 @@ class Network {
   Packet* alloc_packet();
   void free_packet(Packet* p);
   void emit_event(const Packet* p, PacketEvent ev, SwitchId sw, HostId host);
+
+  /// Schedule an engine step `delay` from now.  POD engine: a trivially
+  /// copyable Event record; legacy engine: the original std::function
+  /// closure.  Both push at the same moment, so the (time, push-order)
+  /// schedule — and therefore every simulated result — is identical.
+  void sched_event(TimePs delay, EventKind kind, ChannelId ch, int a = 0);
 
   // ---- members ----
   Simulator* sim_;
@@ -262,7 +284,10 @@ class Network {
   std::uint64_t delivered_ = 0;
   std::uint64_t itb_spills_ = 0;
   std::uint64_t fc_violations_ = 0;
+  std::uint64_t chunk_events_coalesced_ = 0;
   int max_occupancy_ = 0;
+  bool pod_ = false;       // simulator runs the POD engine
+  bool coalesce_ = false;  // pod_ && params.coalesce_chunk_flow
 };
 
 }  // namespace itb

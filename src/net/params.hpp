@@ -52,6 +52,14 @@ struct MyrinetParams {
   /// lands = 80).  Values above 8 can overflow and are rejected.
   int chunk_flits = 8;
 
+  /// Coalesce the per-chunk arrival events of a packet's final leg into a
+  /// single tail event (POD engine only; legacy always steps per chunk).
+  /// Legal because those arrivals are pure sinks — a NIC applies no flow
+  /// control, the header work happened on the first chunk, and nothing
+  /// reads the entry until the tail delivers — so eliding them preserves
+  /// the (time, push-order) schedule of every remaining event bit-for-bit.
+  bool coalesce_chunk_flow = true;
+
   [[nodiscard]] TimePs cable_prop_delay(double length_m) const {
     return static_cast<TimePs>(cable_delay_ps_per_m * length_m + 0.5);
   }

@@ -5,8 +5,15 @@
 namespace itb {
 
 std::pair<TimePs, EventFn> EventQueue::pop() {
+  std::pair<TimePs, EventFn> out;
+  pop_into(out.first, out.second);
+  return out;
+}
+
+void EventQueue::pop_into(TimePs& at, EventFn& fn) {
   assert(!heap_.empty());
-  Node top = std::move(heap_.front());
+  at = heap_.front().at;
+  fn = std::move(heap_.front().fn);
   if (heap_.size() > 1) {
     heap_.front() = std::move(heap_.back());
     heap_.pop_back();
@@ -14,7 +21,6 @@ std::pair<TimePs, EventFn> EventQueue::pop() {
   } else {
     heap_.pop_back();
   }
-  return {top.at, std::move(top.fn)};
 }
 
 void EventQueue::sift_up(std::size_t i) {

@@ -29,10 +29,14 @@ class EventQueue {
   void push(TimePs at, EventFn fn) {
     heap_.push_back(Node{at, next_seq_++, std::move(fn)});
     sift_up(heap_.size() - 1);
+    if (heap_.size() > peak_) peak_ = heap_.size();
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// High-water mark of size() since construction.
+  [[nodiscard]] std::size_t peak_size() const { return peak_; }
 
   /// Timestamp of the earliest pending event; kTimeNever when empty.
   [[nodiscard]] TimePs next_time() const {
@@ -40,7 +44,12 @@ class EventQueue {
   }
 
   /// Remove the earliest event and return (time, fn).  Requires !empty().
+  /// Convenience wrapper over pop_into (one extra EventFn move).
   std::pair<TimePs, EventFn> pop();
+
+  /// Remove the earliest event in place: move its callback into `fn` and its
+  /// time into `at` without materialising a pair.  Requires !empty().
+  void pop_into(TimePs& at, EventFn& fn);
 
  private:
   struct Node {
@@ -59,6 +68,7 @@ class EventQueue {
 
   std::vector<Node> heap_;
   std::uint64_t next_seq_ = 0;
+  std::size_t peak_ = 0;
 };
 
 }  // namespace itb

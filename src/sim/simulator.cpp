@@ -1,25 +1,55 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace itb {
 
-void Simulator::schedule_in(TimePs delay, EventFn fn) {
-  assert(delay >= 0);
-  queue_.push(now_ + delay, std::move(fn));
+void Simulator::schedule_fn(TimePs at, EventFn fn) {
+  if (engine_ == EngineKind::kLegacy) {
+    queue_.push(at, std::move(fn));
+    return;
+  }
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[static_cast<std::size_t>(slot)] = std::move(fn);
+  } else {
+    slot = static_cast<std::int32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  calendar_.push(at, EventKind::kCallback, /*ch=*/-1, /*a=*/slot,
+                 /*p=*/nullptr);
 }
 
-void Simulator::schedule_at(TimePs at, EventFn fn) {
-  assert(at >= now_);
-  queue_.push(at, std::move(fn));
+void Simulator::run_callback_slot(std::int32_t slot) {
+  // Move the callback out before running it: the callback may schedule more
+  // events and grow/reuse the slab.
+  EventFn fn = std::move(slots_[static_cast<std::size_t>(slot)]);
+  slots_[static_cast<std::size_t>(slot)] = nullptr;
+  free_slots_.push_back(slot);
+  fn();
 }
 
 std::uint64_t Simulator::run_until(TimePs deadline) {
+  return engine_ == EngineKind::kPod ? run_until_pod(deadline)
+                                     : run_until_legacy(deadline);
+}
+
+std::uint64_t Simulator::run_while(const std::function<bool()>& keep_going) {
+  return engine_ == EngineKind::kPod ? run_while_pod(keep_going)
+                                     : run_while_legacy(keep_going);
+}
+
+std::uint64_t Simulator::run_until_legacy(TimePs deadline) {
   std::uint64_t n = 0;
   stop_requested_ = false;
+  TimePs at;
+  EventFn fn;
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.next_time() > deadline) break;
-    auto [at, fn] = queue_.pop();
+    queue_.pop_into(at, fn);
     now_ = at;
     fn();
     ++n;
@@ -33,13 +63,54 @@ std::uint64_t Simulator::run_until(TimePs deadline) {
   return n;
 }
 
-std::uint64_t Simulator::run_while(const std::function<bool()>& keep_going) {
+std::uint64_t Simulator::run_until_pod(TimePs deadline) {
   std::uint64_t n = 0;
   stop_requested_ = false;
+  Event e;
+  while (!stop_requested_ && calendar_.pop_if_at_most(deadline, e)) {
+    now_ = e.at;
+    if (e.kind == EventKind::kCallback) {
+      run_callback_slot(e.a);
+    } else {
+      handler_->handle_event(e);
+    }
+    ++n;
+  }
+  executed_ += n;
+  if (deadline != kTimeNever && now_ < deadline &&
+      calendar_.next_time() > deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::run_while_legacy(
+    const std::function<bool()>& keep_going) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  TimePs at;
+  EventFn fn;
   while (!queue_.empty() && !stop_requested_ && keep_going()) {
-    auto [at, fn] = queue_.pop();
+    queue_.pop_into(at, fn);
     now_ = at;
     fn();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_while_pod(const std::function<bool()>& keep_going) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (!calendar_.empty() && !stop_requested_ && keep_going()) {
+    const Event e = calendar_.pop();
+    now_ = e.at;
+    if (e.kind == EventKind::kCallback) {
+      run_callback_slot(e.a);
+    } else {
+      handler_->handle_event(e);
+    }
     ++n;
   }
   executed_ += n;

@@ -1,9 +1,13 @@
 // Discrete-event simulator core loop.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "sim/calendar_queue.hpp"
+#include "sim/event.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -12,11 +16,23 @@ namespace itb {
 /// Owns the clock and the event queue and drives the run loop.  Components
 /// hold a reference to the Simulator and schedule callbacks on it; they must
 /// outlive the run.
+///
+/// Two engines share this interface (selected at construction):
+///  - kLegacy: std::function callbacks over the 4-ary EventQueue heap.
+///  - kPod: trivially-copyable Event records over the CalendarQueue,
+///    dispatched to the registered PodHandler (the Network).  schedule_in /
+///    schedule_at still work — the callback is parked in a slot slab and
+///    fired through a kCallback event — so generators, detectors and tests
+///    are engine-agnostic.
+/// Both engines uphold the same contract: events fire by (time, seq), equal
+/// timestamps in scheduling order.
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(EngineKind engine = kDefaultEngine) : engine_(engine) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] EngineKind engine() const { return engine_; }
 
   /// Current simulated time.
   [[nodiscard]] TimePs now() const { return now_; }
@@ -25,11 +41,42 @@ class Simulator {
   /// and as a runaway guard in tests).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// High-water mark of pending events across the run.
+  [[nodiscard]] std::size_t peak_queue_len() const {
+    return engine_ == EngineKind::kPod ? calendar_.peak_size()
+                                       : queue_.peak_size();
+  }
+
+  /// Register the receiver of non-callback POD events (the Network).  Must
+  /// be set before any schedule_event_* call; ignored on the legacy engine.
+  void set_pod_handler(PodHandler* h) { handler_ = h; }
+
   /// Schedule `fn` `delay` picoseconds from now (delay >= 0).
-  void schedule_in(TimePs delay, EventFn fn);
+  void schedule_in(TimePs delay, EventFn fn) {
+    assert(delay >= 0);
+    schedule_fn(now_ + delay, std::move(fn));
+  }
 
   /// Schedule `fn` at absolute time `at` (at >= now()).
-  void schedule_at(TimePs at, EventFn fn);
+  void schedule_at(TimePs at, EventFn fn) {
+    assert(at >= now_);
+    schedule_fn(at, std::move(fn));
+  }
+
+  /// Schedule a POD event (pod engine only) at absolute time `at`.
+  void schedule_event_at(TimePs at, EventKind kind, std::int32_t ch,
+                         std::int32_t a = 0, void* p = nullptr) {
+    assert(engine_ == EngineKind::kPod);
+    assert(at >= now_);
+    calendar_.push(at, kind, ch, a, p);
+  }
+
+  /// Schedule a POD event (pod engine only) `delay` picoseconds from now.
+  void schedule_event_in(TimePs delay, EventKind kind, std::int32_t ch,
+                         std::int32_t a = 0, void* p = nullptr) {
+    assert(delay >= 0);
+    schedule_event_at(now_ + delay, kind, ch, a, p);
+  }
 
   /// Run until the queue drains or `deadline` is passed (events at exactly
   /// `deadline` still execute).  Returns the number of events executed by
@@ -44,7 +91,22 @@ class Simulator {
   void request_stop() { stop_requested_ = true; }
 
  private:
-  EventQueue queue_;
+  void schedule_fn(TimePs at, EventFn fn);
+  void run_callback_slot(std::int32_t slot);
+
+  std::uint64_t run_until_legacy(TimePs deadline);
+  std::uint64_t run_until_pod(TimePs deadline);
+  std::uint64_t run_while_legacy(const std::function<bool()>& keep_going);
+  std::uint64_t run_while_pod(const std::function<bool()>& keep_going);
+
+  EngineKind engine_;
+  EventQueue queue_;        // legacy engine
+  CalendarQueue calendar_;  // pod engine
+  PodHandler* handler_ = nullptr;
+  // Parked callbacks for kCallback events (pod engine): slot slab + free
+  // list, so steady-state scheduling never allocates.
+  std::vector<EventFn> slots_;
+  std::vector<std::int32_t> free_slots_;
   TimePs now_ = 0;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;

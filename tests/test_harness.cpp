@@ -158,7 +158,9 @@ TEST(Report, TextTableAlignsColumns) {
   std::getline(is, line);
   const auto header_len = line.size();
   while (std::getline(is, line)) {
-    if (!line.empty()) EXPECT_EQ(line.size(), header_len);
+    if (!line.empty()) {
+      EXPECT_EQ(line.size(), header_len);
+    }
   }
 }
 

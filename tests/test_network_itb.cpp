@@ -22,7 +22,7 @@ constexpr TimePs D = 275000 + 200000;  // detect + DMA program
 // violates up*/down* and therefore needs exactly one in-transit buffer:
 //
 //        0 (root)
-//       / \
+//       / \ .
 //      1   2        levels 1
 //      |   |
 //      3---4        levels 2; cable 3-4 oriented up-end = 3
@@ -219,7 +219,7 @@ TEST(ItbChain, TwoItbsAccumulateOverhead) {
   // path needs two splits.
   //
   //      0
-  //     / \
+  //     / \ .
   //    1   2
   //    |   |
   //    3   4     and cables 3-4, plus 5 hanging under 3, cable 5-... :

@@ -171,7 +171,9 @@ TEST(ItbSplit, SegmentsLegalAndConcatenate) {
           for (std::size_t i = 0; i < segs.size(); ++i) {
             EXPECT_TRUE(ud.legal(segs[i])) << t.name();
             EXPECT_TRUE(path_is_consistent(t, segs[i]));
-            if (i > 0) EXPECT_EQ(segs[i].src(), segs[i - 1].dst());
+            if (i > 0) {
+              EXPECT_EQ(segs[i].src(), segs[i - 1].dst());
+            }
             cat.insert(cat.end(), segs[i].cable.begin(), segs[i].cable.end());
           }
           EXPECT_EQ(cat, p.cable);

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -65,6 +66,84 @@ TEST_P(EventQueueFuzz, MatchesReferenceOrder) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
                          ::testing::Range<std::uint64_t>(400, 408));
+
+class CalendarQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Differential fuzz of the POD calendar queue against the reference order,
+// deliberately covering the contract's hard cases: bursts of events sharing
+// one timestamp (must pop FIFO in push order), pushes beyond the near-window
+// horizon (land in the far heap, never migrated), and pushes that fall into
+// the already-scanned base bucket (clamped, but ordered by true time).
+TEST_P(CalendarQueueFuzz, MatchesReferenceOrder) {
+  Rng rng(GetParam());
+  CalendarQueue q;
+  RefQueue ref;
+  TimePs now = 0;
+
+  auto push = [&](TimePs t) {
+    q.push(t, EventKind::kCallback, /*ch=*/0, /*a=*/0, /*p=*/nullptr);
+    ref.push(t);
+  };
+  for (int op = 0; op < 20000; ++op) {
+    const bool do_push = q.empty() || rng.next_bool(0.55);
+    if (do_push) {
+      const std::uint64_t shape = rng.next_below(10);
+      if (shape < 6) {  // near future, within a few buckets
+        push(now + static_cast<TimePs>(rng.next_below(5000)));
+      } else if (shape < 8) {  // equal-timestamp burst
+        const TimePs t = now + static_cast<TimePs>(rng.next_below(3000));
+        const std::uint64_t n = 1 + rng.next_below(6);
+        for (std::uint64_t i = 0; i < n; ++i) push(t);
+      } else if (shape == 8) {  // same instant as the clock (base bucket)
+        push(now);
+      } else {  // beyond the horizon: far heap
+        push(now + CalendarQueue::kHorizonPs +
+             static_cast<TimePs>(rng.next_below(1u << 20)));
+      }
+    } else {
+      const Event e = q.pop();
+      EXPECT_GE(e.at, now);
+      now = e.at;
+      const auto [rt, rseq] = ref.pop();
+      ASSERT_EQ(e.at, rt);
+      ASSERT_EQ(e.seq, rseq);
+    }
+  }
+  while (!q.empty()) {
+    const Event e = q.pop();
+    const auto [rt, rseq] = ref.pop();
+    ASSERT_EQ(e.at, rt);
+    ASSERT_EQ(e.seq, rseq);
+  }
+  EXPECT_TRUE(ref.q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalendarQueueFuzz,
+                         ::testing::Range<std::uint64_t>(500, 510));
+
+TEST(CalendarQueue, EqualTimestampBurstPopsInPushOrder) {
+  CalendarQueue q;
+  for (std::int32_t i = 0; i < 1000; ++i) {
+    q.push(ns(std::int64_t{100}), EventKind::kCallback, i, 0, nullptr);
+  }
+  for (std::int32_t i = 0; i < 1000; ++i) {
+    const Event e = q.pop();
+    ASSERT_EQ(e.ch, i) << "simultaneous events must pop FIFO";
+    ASSERT_EQ(e.seq, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, TracksPeakSize) {
+  CalendarQueue q;
+  for (int i = 0; i < 64; ++i) {
+    q.push(static_cast<TimePs>(i), EventKind::kCallback, 0, 0, nullptr);
+  }
+  for (int i = 0; i < 40; ++i) q.pop();
+  q.push(1000, EventKind::kCallback, 0, 0, nullptr);
+  EXPECT_EQ(q.size(), 25u);
+  EXPECT_EQ(q.peak_size(), 64u);
+}
 
 TEST(SimulatorFuzz, NestedSchedulingKeepsCausality) {
   // Events schedule further events at random offsets; time must never go

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Non-blocking perf-smoke comparison against a committed BENCH_*.json.
+
+Usage:
+    perf_check.py BASELINE.json FRESH.json [--tolerance 0.20]
+
+Reads the events/sec-style rates from both perf records (the sections
+written by `bench_micro_kernel --json` and `bench_parallel_scaling --json`)
+and emits a GitHub Actions `::warning` for every rate that regressed by
+more than the tolerance.  Absolute rates vary across machines, so this is
+a smoke alarm, not a gate: the script ALWAYS exits 0.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rates(record):
+    """Flatten a perf record into {label: rate} for every throughput rate."""
+    out = {}
+    mk = record.get("micro_kernel", {})
+    kern = mk.get("engine_kernel", {})
+    for key in ("legacy_ops_per_sec", "pod_ops_per_sec"):
+        if key in kern:
+            out[f"engine_kernel.{key}"] = kern[key]
+    e2e = mk.get("end_to_end", {})
+    for key in ("legacy_events_per_sec", "pod_events_per_sec"):
+        if key in e2e:
+            out[f"end_to_end.{key}"] = e2e[key]
+    for sample in record.get("parallel_scaling", {}).get("samples", []):
+        if "jobs" in sample and "events_per_sec" in sample:
+            out[f"parallel_scaling.jobs{sample['jobs']}.events_per_sec"] = (
+                sample["events_per_sec"]
+            )
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional slowdown (default 0.20)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = rates(json.load(f))
+        with open(args.fresh) as f:
+            fresh = rates(json.load(f))
+    except (OSError, ValueError) as err:
+        print(f"::warning title=perf-smoke::could not compare records: {err}")
+        return 0
+
+    regressions = 0
+    for label, base in sorted(baseline.items()):
+        if label not in fresh:
+            print(f"::warning title=perf-smoke::{label} missing from fresh "
+                  "record")
+            continue
+        now = fresh[label]
+        if base <= 0:
+            continue
+        ratio = now / base
+        marker = ""
+        if ratio < 1.0 - args.tolerance:
+            regressions += 1
+            marker = "  <-- REGRESSION"
+            print(f"::warning title=perf-smoke::{label} regressed "
+                  f"{(1.0 - ratio) * 100.0:.1f}% "
+                  f"({base:.3g} -> {now:.3g} events/s)")
+        print(f"  {label}: {base:.3g} -> {now:.3g} "
+              f"({ratio:.2f}x){marker}")
+
+    if regressions == 0:
+        print("perf-smoke: no rate regressed beyond "
+              f"{args.tolerance * 100.0:.0f}% of the committed baseline")
+    else:
+        print(f"perf-smoke: {regressions} rate(s) regressed beyond "
+              f"{args.tolerance * 100.0:.0f}% (warning only, not a gate)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,7 +107,7 @@ JsonWriter& JsonWriter::value(const std::string& v) {
 }
 
 namespace {
-void emit_result(JsonWriter& w, const RunResult& r) {
+void emit_result(JsonWriter& w, const RunResult& r, bool host_metrics) {
   w.begin_object();
   w.key("offered").value(r.offered);
   w.key("accepted").value(r.accepted);
@@ -119,19 +119,43 @@ void emit_result(JsonWriter& w, const RunResult& r) {
   w.key("itbs_per_msg").value(r.avg_itbs);
   w.key("delivered").value(r.delivered);
   w.key("spills").value(r.spills);
+  w.key("fc_violations").value(r.fc_violations);
+  w.key("max_buffer_occupancy").value(r.max_buffer_occupancy);
   w.key("saturated").value(r.saturated);
-  w.key("wall_ms").value(r.wall_ms);
+  if (host_metrics) {
+    w.key("wall_ms").value(r.wall_ms);
+  }
   w.key("events").value(r.events);
-  w.key("events_per_sec").value(r.events_per_sec);
+  if (host_metrics) {
+    w.key("events_per_sec").value(r.events_per_sec);
+  }
   w.key("peak_event_queue_len").value(r.peak_event_queue_len);
   w.key("events_coalesced").value(r.events_coalesced);
+  w.key("checked").value(r.checked);
+  w.key("invariant_violations").value(r.invariant_violations);
+  w.key("violations").begin_array();
+  for (const InvariantViolation& v : r.violations) {
+    w.begin_object();
+    w.key("kind").value(to_string(v.kind));
+    w.key("time_ps").value(static_cast<std::int64_t>(v.time));
+    w.key("id").value(v.id);
+    w.key("detail").value(v.detail);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 }  // namespace
 
 std::string run_result_to_json(const RunResult& r) {
   JsonWriter w;
-  emit_result(w, r);
+  emit_result(w, r, /*host_metrics=*/true);
+  return w.str();
+}
+
+std::string run_result_to_canonical_json(const RunResult& r) {
+  JsonWriter w;
+  emit_result(w, r, /*host_metrics=*/false);
   return w.str();
 }
 
@@ -143,7 +167,7 @@ std::string series_to_json(const std::string& experiment,
   w.key("experiment").value(experiment);
   w.key("scheme").value(scheme);
   w.key("points").begin_array();
-  for (const SweepPoint& p : series) emit_result(w, p.result);
+  for (const SweepPoint& p : series) emit_result(w, p.result, true);
   w.end_array();
   w.end_object();
   return w.str();

@@ -44,6 +44,12 @@ class JsonWriter {
 /// One RunResult as a JSON object.
 [[nodiscard]] std::string run_result_to_json(const RunResult& r);
 
+/// Deterministic subset of run_result_to_json: identical except wall_ms
+/// and events_per_sec (host-side, noisy by construction) are omitted, so
+/// the string is bit-stable across runs for a fixed engine/config — the
+/// representation the committed golden fixtures compare against.
+[[nodiscard]] std::string run_result_to_canonical_json(const RunResult& r);
+
 /// A sweep series as a JSON document with metadata.
 [[nodiscard]] std::string series_to_json(const std::string& experiment,
                                          const std::string& scheme,

@@ -1,13 +1,47 @@
 #include "harness/runner.hpp"
 
 #include <chrono>
+#include <mutex>
+#include <optional>
+#include <set>
 
+#include "check/route_verify.hpp"
+#include "check/watchdog.hpp"
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/generator.hpp"
 
 namespace itb {
+
+namespace {
+
+/// Checked mode verifies the whole routing table before a point runs.
+/// Tables are immutable once built and shared across points, so a table
+/// that verified clean is remembered by address and skipped on later
+/// points (also safe under the parallel drivers); a dirty table is
+/// re-verified — and re-reported — every time.
+void verify_routes_checked(const Testbed& tb, const RouteSet& routes,
+                           Network& net) {
+  static std::mutex mu;
+  static std::set<const RouteSet*> clean;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (clean.count(&routes) != 0) return;
+  }
+  const RouteVerifyReport rep = verify_route_set(tb.topo(), tb.updown(),
+                                                 routes);
+  if (rep.ok()) {
+    const std::lock_guard<std::mutex> lock(mu);
+    clean.insert(&routes);
+    return;
+  }
+  for (const InvariantViolation& v : rep.violations) {
+    net.invariants().record(v.kind, v.time, v.id, v.detail);
+  }
+}
+
+}  // namespace
 
 RunResult run_point(const Testbed& tb, RoutingScheme scheme,
                     const DestinationPattern& pattern, const RunConfig& cfg) {
@@ -18,6 +52,12 @@ RunResult run_point(const Testbed& tb, RoutingScheme scheme,
               cfg.seed ^ 0x9e37u);
   MetricsCollector metrics(tb.topo().num_switches());
   metrics.attach(net);
+
+  std::optional<DeadlockWatchdog> watchdog;
+  if (cfg.checked) {
+    verify_routes_checked(tb, routes, net);
+    watchdog.emplace(sim, net);
+  }
 
   TrafficConfig tcfg;
   tcfg.load_flits_per_ns_per_switch = cfg.load_flits_per_ns_per_switch;
@@ -67,6 +107,22 @@ RunResult run_point(const Testbed& tb, RoutingScheme scheme,
   // The generator stops here; outstanding packets are abandoned with the
   // simulator (single-run scope), which is fine for open-loop measurement.
   gen.stop();
+  if (watchdog) watchdog->disarm();
+
+  // Harvest the invariant layer: end-of-window conservation audit (packets
+  // are still in flight, so not quiescent), the simulator's causality
+  // ledger, then everything the ledgers/checkers recorded during the run.
+  net.audit_invariants(/*quiescent=*/false);
+  if (sim.causality_violations() > 0) {
+    net.invariants().record(
+        InvariantKind::kCausality, sim.now(),
+        static_cast<std::int64_t>(sim.causality_violations()),
+        std::to_string(sim.causality_violations()) +
+            " event(s) executed before the simulator clock");
+  }
+  r.checked = cfg.checked;
+  r.invariant_violations = net.invariants().total();
+  r.violations = net.invariants().violations();
 
   r.events = sim.events_executed();
   r.peak_event_queue_len = sim.peak_queue_len();
@@ -102,7 +158,9 @@ bool same_simulated_metrics(const RunResult& a, const RunResult& b) {
          a.max_buffer_occupancy == b.max_buffer_occupancy &&
          a.saturated == b.saturated && a.events == b.events &&
          a.peak_event_queue_len == b.peak_event_queue_len &&
-         a.events_coalesced == b.events_coalesced;
+         a.events_coalesced == b.events_coalesced &&
+         a.invariant_violations == b.invariant_violations &&
+         a.checked == b.checked;
 }
 
 }  // namespace itb

@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "harness/testbed.hpp"
 #include "metrics/link_util.hpp"
 #include "net/params.hpp"
@@ -18,6 +19,16 @@
 #include "traffic/patterns.hpp"
 
 namespace itb {
+
+/// True in ITB_CHECKED builds: RunConfig::checked defaults on and the
+/// Network hot path carries deep per-event assertions.
+[[nodiscard]] consteval bool checked_build() {
+#ifdef ITB_CHECKED
+  return true;
+#else
+  return false;
+#endif
+}
 
 struct RunConfig {
   double load_flits_per_ns_per_switch = 0.01;
@@ -32,6 +43,13 @@ struct RunConfig {
   /// Event engine for this point (A/B benchmarking and the golden
   /// cross-engine determinism tests; normally leave the default).
   EngineKind engine = kDefaultEngine;
+  /// Checked-simulation mode: verify the scheme's routing table (legality,
+  /// minimality, split placement) before the run and sample a wait-graph
+  /// deadlock watchdog during it.  Honoured in every build; the
+  /// ITB_CHECKED build flips this default to true so an entire suite or
+  /// grid runs checked.  The watchdog's sampling callbacks add events, so
+  /// `events`-bearing results are only comparable at equal `checked`.
+  bool checked = checked_build();
 };
 
 struct RunResult {
@@ -50,6 +68,15 @@ struct RunResult {
   int max_buffer_occupancy = 0;
   bool saturated = false;
   std::vector<ChannelUtil> link_util;  // when collect_link_util
+
+  /// Invariant layer: total violations seen by the always-on ledgers, the
+  /// end-of-window audit, the causality ledger, and (when cfg.checked) the
+  /// route verifier and deadlock watchdog.  Zero on every healthy run; the
+  /// checked grid asserts exactly that.  `violations` carries the first
+  /// InvariantRecorder::kMaxStored records with details.
+  std::uint64_t invariant_violations = 0;
+  std::vector<InvariantViolation> violations;
+  bool checked = false;  // deep checks ran for this point
 
   // Engine observability.  events / peak_event_queue_len / events_coalesced
   // are deterministic for a fixed engine (and compared as such); wall_ms and

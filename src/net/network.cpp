@@ -4,12 +4,27 @@
 #include <cassert>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace itb {
 
 namespace {
 std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
 }  // namespace
+
+// Deep per-event assertions (checked tier 2): compiled in only by the
+// ITB_CHECKED build, where a failed condition records a violation instead
+// of aborting, so a whole checked grid can report every deviation.
+#ifdef ITB_CHECKED
+#define ITB_DEEP_CHECK(cond, kind, id, msg)                         \
+  do {                                                              \
+    if (!(cond)) checks_.record((kind), sim_->now(), (id), (msg)); \
+  } while (0)
+#else
+#define ITB_DEEP_CHECK(cond, kind, id, msg) \
+  do {                                      \
+  } while (0)
+#endif
 
 const char* to_string(PacketEvent e) {
   switch (e) {
@@ -27,7 +42,8 @@ Network::Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
                  std::uint64_t seed)
     : sim_(&sim), topo_(&topo), routes_(&routes), params_(params),
       pod_(sim.engine() == EngineKind::kPod),
-      coalesce_(pod_ && params.coalesce_chunk_flow) {
+      coalesce_(pod_ && params.coalesce_chunk_flow),
+      ledger_(params.ledger_checks) {
   if (pod_) sim.set_pod_handler(this);
   if (params_.chunk_flits < 1 || params_.chunk_flits > 8) {
     throw std::invalid_argument(
@@ -266,6 +282,7 @@ void Network::chunk_sent(ChannelId ch, int k) {
   const bool first_chunk = (c.sent == 0);
   c.sent += k;
   c.busy_accum += static_cast<TimePs>(k) * params_.flit_time;
+  c.wire_flits += k;
 
   if (c.from_switch) {
     Channel& in = chan(c.src_in_ch);
@@ -274,6 +291,13 @@ void Network::chunk_sent(ChannelId ch, int k) {
     e.forwarded += k;
     in.occupancy -= k;
     assert(in.occupancy >= 0);
+    if (ledger_ && in.occupancy < 0) {
+      checks_.record(InvariantKind::kFlitConservation, sim_->now(),
+                     c.src_in_ch, "buffer occupancy went negative on forward");
+    }
+    ITB_DEEP_CHECK(e.forwarded <= e.arrived_raw - 1,
+                   InvariantKind::kFlitConservation, ch,
+                   "forwarded flits ahead of arrivals (header excluded)");
     if (in.stop_sent && in.occupancy < params_.go_threshold_flits) {
       in.stop_sent = false;
       sched_event(in.prop_delay, EventKind::kGoArrived, c.src_in_ch);
@@ -330,6 +354,10 @@ void Network::sender_done(ChannelId ch) {
                              [p](const BufferEntry& e) { return e.pkt == p; });
       assert(it != in.entries.end());
       n.itb_pool_used -= it->reserved_bytes;
+      if (ledger_ && n.itb_pool_used < 0) {
+        checks_.record(InvariantKind::kItbPoolOverflow, sim_->now(), n.id,
+                       "ITB pool released below zero");
+      }
       in.occupancy -= it->total_flits - it->forwarded;  // bookkeeping only
       in.entries.erase(it);
     }
@@ -370,12 +398,28 @@ void Network::chunk_arrived(ChannelId ch, int k) {
   }
   entry->arrived_raw += k;
   c.occupancy += k;
+  c.wire_flits -= k;
+  if (ledger_ && c.wire_flits < 0) {
+    checks_.record(InvariantKind::kFlitConservation, sim_->now(), ch,
+                   "more flits landed than were sent on this channel");
+  }
+  ITB_DEEP_CHECK(entry->arrived_raw <= entry->total_flits,
+                 InvariantKind::kFlitConservation, ch,
+                 "entry overfilled beyond its announced wire length");
 
   if (c.into_switch) {
     // Only slack buffers have a capacity; NIC memory is modelled as an
     // unbounded sink (ejection must never block — §3 of the paper).
     if (c.occupancy > max_occupancy_) max_occupancy_ = c.occupancy;
-    if (c.occupancy > params_.slack_buffer_flits) ++fc_violations_;
+    if (c.occupancy > params_.slack_buffer_flits) {
+      ++fc_violations_;
+      if (ledger_) {
+        checks_.record(InvariantKind::kBufferOverflow, sim_->now(), ch,
+                       "slack buffer at " + std::to_string(c.occupancy) +
+                           " flits, capacity " +
+                           std::to_string(params_.slack_buffer_flits));
+      }
+    }
     if (!c.stop_sent && c.occupancy > params_.stop_threshold_flits) {
       c.stop_sent = true;
       sched_event(c.prop_delay, EventKind::kStopArrived, ch);
@@ -413,6 +457,11 @@ void Network::burst_arrived(ChannelId ch, int flits) {
   assert(e.header_done && e.is_delivery);
   e.arrived_raw += flits;
   c.occupancy += flits;
+  c.wire_flits -= flits;
+  if (ledger_ && c.wire_flits < 0) {
+    checks_.record(InvariantKind::kFlitConservation, sim_->now(), ch,
+                   "coalesced burst landed more flits than were sent");
+  }
   assert(e.arrived_raw == e.total_flits);
   deliver(ch, e);
 }
@@ -423,6 +472,10 @@ void Network::process_header(ChannelId in_ch) {
   assert(!e.header_done && e.arrived_raw > 0);
   e.header_done = true;
   in.occupancy -= 1;  // the routing byte is consumed by the control unit
+  if (ledger_ && in.occupancy < 0) {
+    checks_.record(InvariantKind::kFlitConservation, sim_->now(), in_ch,
+                   "buffer occupancy went negative on header strip");
+  }
   if (in.stop_sent && in.occupancy < params_.go_threshold_flits) {
     in.stop_sent = false;
     sched_event(in.prop_delay, EventKind::kGoArrived, in_ch);
@@ -432,6 +485,9 @@ void Network::process_header(ChannelId in_ch) {
   const PortId port = p->next_port();
   const ChannelId out_ch = out_channel_at_[idx(in.dst_sw)][idx(port)];
   assert(out_ch >= 0 && "route names an unconnected port");
+  ITB_DEEP_CHECK(chan(out_ch).src_sw == in.dst_sw,
+                 InvariantKind::kIllegalRoute, in_ch,
+                 "granted output does not leave the header's switch");
   request_output(out_ch, in_ch, in.dst_port, p);
 }
 
@@ -498,12 +554,27 @@ void Network::grant_next(ChannelId out_ch) {
 
 void Network::stop_arrived(ChannelId ch) {
   Channel& c = chan(ch);
+  // Stop and go credits strictly alternate per channel (stop_sent guards
+  // both send sites and the wire preserves order), so a repeated stop means
+  // a credit was duplicated or lost somewhere.
+  if (ledger_ && c.sender_stopped) {
+    checks_.record(InvariantKind::kCreditConservation, sim_->now(), ch,
+                   "stop credit arrived while the sender was already stopped");
+  }
   c.sender_stopped = true;
   if (c.owner != nullptr) c.stopped_since = sim_->now();
 }
 
 void Network::go_arrived(ChannelId ch) {
   Channel& c = chan(ch);
+  if (c.drop_next_go) {  // test_drop_next_go fault: the credit is lost
+    c.drop_next_go = false;
+    return;
+  }
+  if (ledger_ && !c.sender_stopped) {
+    checks_.record(InvariantKind::kCreditConservation, sim_->now(), ch,
+                   "go credit arrived while the sender was not stopped");
+  }
   c.sender_stopped = false;
   if (c.stopped_since >= 0) {
     c.stopped_accum += sim_->now() - c.stopped_since;
@@ -530,6 +601,10 @@ void Network::nic_header_arrived(ChannelId in_ch, BufferEntry& entry) {
   if (n.itb_pool_used + need <= params_.itb_pool_bytes) {
     n.itb_pool_used += need;
     entry.reserved_bytes = need;
+    if (ledger_ && n.itb_pool_used > params_.itb_pool_bytes) {
+      checks_.record(InvariantKind::kItbPoolOverflow, sim_->now(), n.id,
+                     "ITB pool reserved past capacity");
+    }
   } else {
     // Pool exhausted: the MCP stages the packet through host memory.
     ++itb_spills_;
@@ -565,6 +640,11 @@ void Network::deliver(ChannelId in_ch, BufferEntry& entry) {
   Packet* p = entry.pkt;
   p->deliver_time = sim_->now();
   ++delivered_;
+  if (ledger_ && delivered_ > injected_) {
+    checks_.record(InvariantKind::kPacketConservation, sim_->now(),
+                   static_cast<std::int64_t>(p->id),
+                   "more packets delivered than injected");
+  }
   emit_event(p, PacketEvent::kDelivered, kNoSwitch, p->dst);
 
   if (on_delivery_) {
@@ -639,6 +719,138 @@ std::uint64_t Network::source_backlog_packets() const {
   std::uint64_t n = 0;
   for (const Nic& nc : nics_) n += nc.source_queue.size();
   return n;
+}
+
+std::string Network::channel_label(ChannelId ch) const {
+  const Channel& c = channels_[idx(ch)];
+  std::string s = "ch" + std::to_string(ch) + "(";
+  s += c.from_switch
+           ? "sw" + std::to_string(c.src_sw) + ":p" + std::to_string(c.src_port)
+           : "host" + std::to_string(c.src_host);
+  s += "->";
+  s += c.into_switch
+           ? "sw" + std::to_string(c.dst_sw) + ":p" + std::to_string(c.dst_port)
+           : "host" + std::to_string(c.dst_host);
+  return s + ")";
+}
+
+void Network::audit_invariants(bool quiescent) {
+  const TimePs now = sim_->now();
+  // Per-channel ledgers: every occupancy must equal the sum of its live
+  // entries' resident flits, and no wire may have landed more than was sent.
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const Channel& c = channels_[i];
+    const auto ch = static_cast<ChannelId>(i);
+    if (c.wire_flits < 0 || (quiescent && c.wire_flits != 0)) {
+      checks_.record(InvariantKind::kFlitConservation, now, ch,
+                     "wire ledger reads " + std::to_string(c.wire_flits) +
+                         " flits at audit");
+    }
+    if (c.into_switch || c.dst_host != kNoHost) {
+      std::int64_t expected = 0;
+      for (const BufferEntry& e : c.entries) {
+        // Switch buffers strip the routing byte and drain via `forwarded`;
+        // NIC memory holds everything that arrived until delivery/erase.
+        expected += c.into_switch
+                        ? e.arrived_raw - (e.header_done ? 1 : 0) - e.forwarded
+                        : e.arrived_raw;
+      }
+      if (expected != c.occupancy) {
+        checks_.record(InvariantKind::kFlitConservation, now, ch,
+                       "occupancy ledger reads " + std::to_string(c.occupancy) +
+                           ", entries hold " + std::to_string(expected));
+      }
+      if (c.into_switch && c.occupancy > params_.slack_buffer_flits) {
+        checks_.record(InvariantKind::kBufferOverflow, now, ch,
+                       "slack buffer at " + std::to_string(c.occupancy) +
+                           " flits at audit, capacity " +
+                           std::to_string(params_.slack_buffer_flits));
+      }
+    }
+    // A stopped sender whose receiver has no stop outstanding and no go in
+    // flight will never resume: the credit was lost.  Only decidable at
+    // quiescence — mid-run the go may legitimately be on the wire.
+    if (quiescent && c.sender_stopped && !c.stop_sent) {
+      checks_.record(InvariantKind::kCreditConservation, now, ch,
+                     "sender stopped with no stop outstanding: go credit "
+                     "lost");
+    }
+  }
+  // ITB pools: the pool level must equal the sum of live reservations and
+  // stay within capacity.
+  for (const Nic& n : nics_) {
+    std::int64_t reserved = 0;
+    for (const BufferEntry& e : channels_[idx(n.from_switch)].entries) {
+      reserved += e.reserved_bytes;
+    }
+    if (n.itb_pool_used != reserved || n.itb_pool_used < 0 ||
+        n.itb_pool_used > params_.itb_pool_bytes) {
+      checks_.record(InvariantKind::kItbPoolOverflow, now, n.id,
+                     "pool ledger reads " + std::to_string(n.itb_pool_used) +
+                         " bytes, live reservations total " +
+                         std::to_string(reserved) + " (capacity " +
+                         std::to_string(params_.itb_pool_bytes) + ")");
+    }
+  }
+  // Source->sink packet conservation: every injected, undelivered packet
+  // must be somewhere (a NIC queue, a buffer entry, a flow, or announced on
+  // a wire), and nothing else may hold a live packet.
+  std::unordered_set<const Packet*> live;
+  for (const Nic& n : nics_) {
+    for (const Packet* p : n.source_queue) live.insert(p);
+    for (const Packet* p : n.itb_queue) live.insert(p);
+  }
+  for (const Channel& c : channels_) {
+    if (c.owner != nullptr) live.insert(c.owner);
+    for (const BufferEntry& e : c.entries) live.insert(e.pkt);
+    for (const auto& [p, len] : c.incoming) live.insert(p);
+  }
+  const std::uint64_t in_flight = injected_ - delivered_;
+  if (delivered_ > injected_ || live.size() != in_flight) {
+    checks_.record(InvariantKind::kPacketConservation, now,
+                   static_cast<std::int64_t>(injected_),
+                   "census finds " + std::to_string(live.size()) +
+                       " live packets, counters say " +
+                       std::to_string(injected_) + " injected - " +
+                       std::to_string(delivered_) + " delivered");
+  }
+}
+
+std::vector<std::pair<ChannelId, ChannelId>> Network::wait_graph_edges()
+    const {
+  std::vector<std::pair<ChannelId, ChannelId>> edges;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const Channel& c = channels_[i];
+    const auto ch = static_cast<ChannelId>(i);
+    // Head-of-line flow: the front entry drains only through its granted
+    // output.  NIC-bound channels sink unconditionally (out_ch stays -1).
+    if (c.into_switch && !c.entries.empty()) {
+      const BufferEntry& e = c.entries.front();
+      if (e.header_done && e.out_ch >= 0) edges.emplace_back(ch, e.out_ch);
+    }
+    // Queued output requests: the requesting input buffer cannot drain
+    // until this output frees up.
+    for (const Request& r : c.requests) edges.emplace_back(r.in_ch, ch);
+  }
+  return edges;
+}
+
+void Network::test_force_go(ChannelId ch) { go_arrived(ch); }
+
+void Network::test_drop_next_go(ChannelId ch) {
+  chan(ch).drop_next_go = true;
+}
+
+void Network::test_corrupt_occupancy(ChannelId ch, int delta) {
+  chan(ch).occupancy += delta;
+}
+
+void Network::test_corrupt_itb_pool(HostId h, std::int64_t delta) {
+  nic(h).itb_pool_used += delta;
+}
+
+void Network::test_corrupt_injected(std::uint64_t delta) {
+  injected_ += delta;
 }
 
 }  // namespace itb

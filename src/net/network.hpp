@@ -34,8 +34,11 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "core/path_policy.hpp"
 #include "core/route_set.hpp"
 #include "net/packet.hpp"
@@ -125,6 +128,47 @@ class Network : public PodHandler {
   /// Largest slack-buffer occupancy ever observed (flits).
   [[nodiscard]] int max_buffer_occupancy() const { return max_occupancy_; }
 
+  /// Violations detected by the always-on ledgers (and recorded into by the
+  /// deep checkers in src/check/, which share this sink).  The mutable
+  /// overload exists for those checkers; the engine itself only appends.
+  [[nodiscard]] const InvariantRecorder& invariants() const { return checks_; }
+  [[nodiscard]] InvariantRecorder& invariants() { return checks_; }
+
+  /// Cold-path conservation audit: recompute every buffer occupancy from
+  /// its entries, every ITB pool level from its reservations, and the
+  /// in-flight packet census, and record any mismatch.  With `quiescent`
+  /// set (nothing should be in flight and no events pending) additionally
+  /// require every wire ledger to read zero and flag stranded stop/go
+  /// credits.  Called by the harness at the end of a measurement window
+  /// and by tests after draining.
+  void audit_invariants(bool quiescent = false);
+
+  /// Snapshot of the channel wait graph for the deadlock watchdog: an edge
+  /// (c, o) means channel c's input buffer cannot drain until output
+  /// channel o drains (granted head-of-line flow or queued output
+  /// request).  Channels draining into NICs sink unconditionally and get
+  /// no edges — the ITB deadlock-freedom property in graph form.
+  [[nodiscard]] std::vector<std::pair<ChannelId, ChannelId>> wait_graph_edges()
+      const;
+
+  /// "ch3(sw0:p1->sw2:p0)" — for watchdog cycle dumps and diagnostics.
+  [[nodiscard]] std::string channel_label(ChannelId ch) const;
+
+  // --- test-only fault injection ---------------------------------------
+  // Deliberately corrupt engine state so the negative tests can prove each
+  // ledger catches its failure mode.  Never called by the engine itself.
+
+  /// Forge a "go" credit arriving on `ch` right now (credit duplication).
+  void test_force_go(ChannelId ch);
+  /// Drop the next "go" credit that arrives on `ch` (credit loss).
+  void test_drop_next_go(ChannelId ch);
+  /// Skew a buffer's occupancy ledger without moving any flits.
+  void test_corrupt_occupancy(ChannelId ch, int delta);
+  /// Skew a NIC's ITB pool accounting without a matching reservation.
+  void test_corrupt_itb_pool(HostId h, std::int64_t delta);
+  /// Skew the injected-packet counter (breaks source->sink conservation).
+  void test_corrupt_injected(std::uint64_t delta);
+
   [[nodiscard]] const Topology& topology() const { return *topo_; }
   [[nodiscard]] const MyrinetParams& params() const { return params_; }
 
@@ -212,6 +256,10 @@ class Network : public PodHandler {
     bool stop_sent = false; // receiver has signalled stop upstream
     std::deque<std::pair<Packet*, int>> incoming;  // (pkt, len) in wire order
 
+    // always-on ledgers (checked tier 1)
+    std::int64_t wire_flits = 0;  // flits sent but not yet landed
+    bool drop_next_go = false;    // test_drop_next_go fault armed
+
     // statistics
     TimePs busy_accum = 0;
     TimePs stopped_accum = 0;
@@ -288,6 +336,8 @@ class Network : public PodHandler {
   int max_occupancy_ = 0;
   bool pod_ = false;       // simulator runs the POD engine
   bool coalesce_ = false;  // pod_ && params.coalesce_chunk_flow
+  bool ledger_ = true;     // params.ledger_checks (always-on invariant tier)
+  InvariantRecorder checks_;
 };
 
 }  // namespace itb

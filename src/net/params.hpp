@@ -47,9 +47,18 @@ struct MyrinetParams {
   // --- engine ---
   /// Flits moved per simulation event.  1 = exact flit-level behaviour;
   /// 8 (the default) keeps every stop/go threshold crossing on a chunk
-  /// boundary and provably cannot overflow the 80-flit slack buffer
-  /// (56 + 8 just-arrived + 8 in flight + 8 started before the stop
-  /// lands = 80).  Values above 8 can overflow and are rejected.
+  /// boundary and cannot overflow the 80-flit slack buffer as long as every
+  /// chunk is full-size (56 + 8 just-arrived + 8 in flight + 8 started
+  /// before the stop lands = 80).  Values above 8 can overflow and are
+  /// rejected.  Known artifact: a flow whose flit count is not a multiple
+  /// of chunk_flits ends in a shorter tail chunk, and two commits can then
+  /// fit inside one stop-propagation window; packets small enough to fit
+  /// entirely in the slack buffer (payloads below ~128 bytes) stream
+  /// tail-to-head at saturation and can exceed the budget by a few flits
+  /// (bounded by two extra chunks).  The overflow is counted (never
+  /// silent) and
+  /// pinned by SlackSkid.SubChunkTailsCanOverflowByABoundedMargin; use
+  /// chunk_flits = 1 for exact behaviour at such payloads.
   int chunk_flits = 8;
 
   /// Coalesce the per-chunk arrival events of a packet's final leg into a
@@ -59,6 +68,12 @@ struct MyrinetParams {
   /// reads the entry until the tail delivers — so eliding them preserves
   /// the (time, push-order) schedule of every remaining event bit-for-bit.
   bool coalesce_chunk_flow = true;
+
+  /// Always-on invariant ledgers (flit/credit conservation, buffer bounds,
+  /// ITB pool capacity, packet conservation): cheap integer comparisons on
+  /// the hot path, on by default.  Off exists solely so bench_micro_kernel
+  /// can A/B their cost (the ≤5% budget recorded in BENCH_pr3.json).
+  bool ledger_checks = true;
 
   [[nodiscard]] TimePs cable_prop_delay(double length_m) const {
     return static_cast<TimePs>(cable_delay_ps_per_m * length_m + 0.5);

@@ -50,6 +50,7 @@ std::uint64_t Simulator::run_until_legacy(TimePs deadline) {
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.next_time() > deadline) break;
     queue_.pop_into(at, fn);
+    if (at < now_) ++causality_violations_;
     now_ = at;
     fn();
     ++n;
@@ -68,6 +69,7 @@ std::uint64_t Simulator::run_until_pod(TimePs deadline) {
   stop_requested_ = false;
   Event e;
   while (!stop_requested_ && calendar_.pop_if_at_most(deadline, e)) {
+    if (e.at < now_) ++causality_violations_;
     now_ = e.at;
     if (e.kind == EventKind::kCallback) {
       run_callback_slot(e.a);
@@ -92,6 +94,7 @@ std::uint64_t Simulator::run_while_legacy(
   EventFn fn;
   while (!queue_.empty() && !stop_requested_ && keep_going()) {
     queue_.pop_into(at, fn);
+    if (at < now_) ++causality_violations_;
     now_ = at;
     fn();
     ++n;
@@ -105,6 +108,7 @@ std::uint64_t Simulator::run_while_pod(const std::function<bool()>& keep_going) 
   stop_requested_ = false;
   while (!calendar_.empty() && !stop_requested_ && keep_going()) {
     const Event e = calendar_.pop();
+    if (e.at < now_) ++causality_violations_;
     now_ = e.at;
     if (e.kind == EventKind::kCallback) {
       run_callback_slot(e.a);

@@ -41,6 +41,13 @@ class Simulator {
   /// and as a runaway guard in tests).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// Events that would have run before the current clock (always-on
+  /// causality ledger; any non-zero value is a queue-ordering bug and is
+  /// surfaced as an InvariantViolation by the harness).
+  [[nodiscard]] std::uint64_t causality_violations() const {
+    return causality_violations_;
+  }
+
   /// High-water mark of pending events across the run.
   [[nodiscard]] std::size_t peak_queue_len() const {
     return engine_ == EngineKind::kPod ? calendar_.peak_size()
@@ -109,6 +116,7 @@ class Simulator {
   std::vector<std::int32_t> free_slots_;
   TimePs now_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t causality_violations_ = 0;
   bool stop_requested_ = false;
 };
 

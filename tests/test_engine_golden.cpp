@@ -10,8 +10,13 @@
 // off the executed-event *counts* match exactly as well.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "harness/json.hpp"
 #include "harness/runner.hpp"
 #include "harness/testbed.hpp"
 #include "metrics/collector.hpp"
@@ -182,6 +187,90 @@ void expect_same_metrics(const RunResult& a, const RunResult& b) {
     EXPECT_EQ(a.link_util[i].stopped_fraction,
               b.link_util[i].stopped_fraction);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixtures: committed canonical-JSON snapshots of one small cell from
+// each experiment family (fig. 7 uniform, fig. 10 bit-reversal, fig. 12
+// local traffic).  Any engine change that alters a simulated quantity —
+// a latency, a delivery count, an event total — shows up as a fixture diff
+// that must be reviewed and regenerated deliberately:
+//
+//   ITB_UPDATE_GOLDEN=1 ctest -R GoldenFixture
+//
+// The config pins everything build-dependent: the POD engine explicitly
+// (not kDefaultEngine, which ITB_LEGACY_EVENTS flips) and checked=false
+// explicitly (not the ITB_CHECKED-dependent default — watchdog sampling
+// adds events), so every build produces the identical canonical string.
+
+RunResult run_golden_cell(const Testbed& tb, const DestinationPattern& pat,
+                          RoutingScheme scheme) {
+  RunConfig cfg;
+  cfg.load_flits_per_ns_per_switch = 0.02;
+  cfg.payload_bytes = 512;
+  cfg.warmup = us(50);
+  cfg.measure = us(150);
+  cfg.seed = 42;
+  cfg.engine = EngineKind::kPod;
+  cfg.checked = false;
+  return run_point(tb, scheme, pat, cfg);
+}
+
+void compare_or_update_golden(const char* name, const RunResult& r) {
+  const std::string path = std::string(ITB_GOLDEN_DIR) + "/" + name;
+  const std::string got = run_result_to_canonical_json(r) + "\n";
+  if (std::getenv("ITB_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path
+                         << " missing; regenerate with ITB_UPDATE_GOLDEN=1";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "simulated results changed; if intended, regenerate " << name
+      << " with ITB_UPDATE_GOLDEN=1 and review the diff";
+}
+
+TEST(GoldenFixture, Fig7UniformCell) {
+  Testbed tb(make_torus_2d(4, 4, 2));
+  UniformPattern pat(tb.topo().num_hosts());
+  const RunResult r = run_golden_cell(tb, pat, RoutingScheme::kItbSp);
+  ASSERT_GT(r.delivered, 0u);
+  ASSERT_EQ(r.invariant_violations, 0u);
+  compare_or_update_golden("fig7_cell.json", r);
+}
+
+TEST(GoldenFixture, Fig10BitReversalCell) {
+  Testbed tb(make_torus_2d(4, 4, 2));
+  BitReversalPattern pat(tb.topo().num_hosts());
+  const RunResult r = run_golden_cell(tb, pat, RoutingScheme::kItbRr);
+  ASSERT_GT(r.delivered, 0u);
+  ASSERT_EQ(r.invariant_violations, 0u);
+  compare_or_update_golden("fig10_cell.json", r);
+}
+
+TEST(GoldenFixture, Fig12LocalCell) {
+  Testbed tb(make_torus_2d(4, 4, 2));
+  LocalPattern pat(tb.topo(), 3);
+  const RunResult r = run_golden_cell(tb, pat, RoutingScheme::kUpDown);
+  ASSERT_GT(r.delivered, 0u);
+  ASSERT_EQ(r.invariant_violations, 0u);
+  compare_or_update_golden("fig12_cell.json", r);
+}
+
+TEST(GoldenFixture, CanonicalJsonIsDeterministicAcrossRepeats) {
+  // The fixture representation itself must be bit-stable: same config, two
+  // fresh runs, identical canonical strings (wall-clock fields excluded).
+  Testbed tb(make_torus_2d(4, 4, 2));
+  UniformPattern pat(tb.topo().num_hosts());
+  const RunResult a = run_golden_cell(tb, pat, RoutingScheme::kItbSp);
+  const RunResult b = run_golden_cell(tb, pat, RoutingScheme::kItbSp);
+  EXPECT_EQ(run_result_to_canonical_json(a), run_result_to_canonical_json(b));
+  EXPECT_TRUE(same_simulated_metrics(a, b));
 }
 
 TEST(EngineGolden, RunPointMatchesAcrossEngines) {

@@ -28,6 +28,11 @@ def rates(record):
     for key in ("legacy_events_per_sec", "pod_events_per_sec"):
         if key in e2e:
             out[f"end_to_end.{key}"] = e2e[key]
+    overhead = mk.get("checked_overhead", {})
+    for key in ("ledger_off_events_per_sec", "ledger_on_events_per_sec",
+                "checked_events_per_sec"):
+        if key in overhead:
+            out[f"checked_overhead.{key}"] = overhead[key]
     for sample in record.get("parallel_scaling", {}).get("samples", []):
         if "jobs" in sample and "events_per_sec" in sample:
             out[f"parallel_scaling.jobs{sample['jobs']}.events_per_sec"] = (

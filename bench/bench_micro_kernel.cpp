@@ -29,6 +29,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "sim/workspace.hpp"
 #include "topo/generators.hpp"
 #include "traffic/generator.hpp"
 #include "traffic/patterns.hpp"
@@ -256,6 +257,46 @@ RunResult overhead_point(const Testbed& tb, const BenchOptions& opts,
   return best;
 }
 
+/// Workspace reuse A/B: the same POD point run in fresh workspaces vs one
+/// reused (warmed) workspace.  Bit-identity is the contract (enforced by
+/// test_workspace; re-checked here); the reused run's
+/// heap_allocs_steady_state dropping to zero is the arena layer's headline
+/// property.  Best of `reps` for the rates, like overhead_point.
+struct WorkspaceAb {
+  RunResult fresh;
+  RunResult reused;
+  bool identical = false;
+};
+
+WorkspaceAb workspace_ab(const Testbed& tb, const BenchOptions& opts) {
+  UniformPattern pat(tb.topo().num_hosts());
+  RunConfig cfg;
+  cfg.load_flits_per_ns_per_switch = 0.02;
+  cfg.warmup = opts.fast ? us(40) : us(150);
+  cfg.measure = opts.fast ? us(100) : us(400);
+  cfg.engine = EngineKind::kPod;
+  const int reps = 3;
+  WorkspaceAb ab;
+  {
+    SimWorkspace ws;  // never reused: every rep below gets its own
+    ab.fresh = run_point_in(ws, tb, RoutingScheme::kItbRr, pat, cfg);
+  }
+  for (int i = 1; i < reps; ++i) {
+    SimWorkspace ws;
+    RunResult r = run_point_in(ws, tb, RoutingScheme::kItbRr, pat, cfg);
+    if (r.events_per_sec > ab.fresh.events_per_sec) ab.fresh = std::move(r);
+  }
+  SimWorkspace warm;
+  (void)run_point_in(warm, tb, RoutingScheme::kItbRr, pat, cfg);
+  ab.reused = run_point_in(warm, tb, RoutingScheme::kItbRr, pat, cfg);
+  for (int i = 1; i < reps; ++i) {
+    RunResult r = run_point_in(warm, tb, RoutingScheme::kItbRr, pat, cfg);
+    if (r.events_per_sec > ab.reused.events_per_sec) ab.reused = std::move(r);
+  }
+  ab.identical = same_simulated_metrics(ab.fresh, ab.reused);
+  return ab;
+}
+
 int run_json_mode(const BenchOptions& opts) {
   const std::vector<TimePs> deltas = make_deltas();
   const std::uint64_t ops = opts.fast ? 1'000'000 : 4'000'000;
@@ -283,6 +324,8 @@ int run_json_mode(const BenchOptions& opts) {
   const double checked_overhead =
       1.0 - checked_on.events_per_sec / ledger_off.events_per_sec;
 
+  const WorkspaceAb ws_ab = workspace_ab(tb, opts);
+
   std::printf("engine kernel (%zu held, %llu ops):\n", kHeld,
               static_cast<unsigned long long>(ops));
   std::printf("  legacy  %8.2f Mops/s\n", legacy_ops / 1e6);
@@ -300,6 +343,18 @@ int run_json_mode(const BenchOptions& opts) {
               ledger_on.events_per_sec / 1e6, ledger_overhead * 100.0);
   std::printf("  checked     %8.2f Mev/s   overhead %+.1f%%\n",
               checked_on.events_per_sec / 1e6, checked_overhead * 100.0);
+  std::printf("workspace reuse (POD, best of 3):\n");
+  std::printf("  fresh   %8.2f Mev/s   run allocs %llu\n",
+              ws_ab.fresh.events_per_sec / 1e6,
+              static_cast<unsigned long long>(
+                  ws_ab.fresh.heap_allocs_steady_state));
+  std::printf("  reused  %8.2f Mev/s   run allocs %llu   speedup %.2fx   "
+              "bit-identical %s\n",
+              ws_ab.reused.events_per_sec / 1e6,
+              static_cast<unsigned long long>(
+                  ws_ab.reused.heap_allocs_steady_state),
+              ws_ab.reused.events_per_sec / ws_ab.fresh.events_per_sec,
+              ws_ab.identical ? "yes" : "NO");
 
   JsonWriter w;
   w.begin_object();
@@ -330,6 +385,17 @@ int run_json_mode(const BenchOptions& opts) {
   w.key("ledger_overhead_frac").value(ledger_overhead);
   w.key("checked_overhead_frac").value(checked_overhead);
   w.end_object();
+  w.key("workspace").begin_object();
+  w.key("fresh_events_per_sec").value(ws_ab.fresh.events_per_sec);
+  w.key("reused_events_per_sec").value(ws_ab.reused.events_per_sec);
+  w.key("speedup").value(ws_ab.reused.events_per_sec /
+                         ws_ab.fresh.events_per_sec);
+  w.key("fresh_heap_allocs").value(ws_ab.fresh.heap_allocs_steady_state);
+  w.key("reused_heap_allocs_steady_state")
+      .value(ws_ab.reused.heap_allocs_steady_state);
+  w.key("arena_bytes_peak").value(ws_ab.reused.arena_bytes_peak);
+  w.key("bit_identical").value(ws_ab.identical);
+  w.end_object();
   w.end_object();
   write_json_section(opts.json, "micro_kernel", w.str());
   std::printf("wrote micro_kernel section to %s\n", opts.json.c_str());
@@ -351,6 +417,11 @@ int run_json_mode(const BenchOptions& opts) {
       checked_on.delivered != ledger_on.delivered ||
       checked_on.avg_latency_ns != ledger_on.avg_latency_ns) {
     std::printf("LEDGER A/B MISMATCH: invariant layer changed the results\n");
+    return 1;
+  }
+  // Workspace reuse must not change the simulation.
+  if (!ws_ab.identical) {
+    std::printf("WORKSPACE A/B MISMATCH: reused run differs from fresh\n");
     return 1;
   }
   return 0;

@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
     int jobs;
     double wall_s;
     std::uint64_t events;
+    std::uint64_t workspace_reuses;
+    std::uint64_t arena_bytes_peak;
+    std::uint64_t heap_allocs_steady_state;
   };
   std::vector<Sample> samples;
   ReplicatedResult baseline;
@@ -49,9 +52,14 @@ int main(int argc, char** argv) {
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    std::uint64_t events = 0;
-    for (const RunResult& r : rep.runs) events += r.events;
-    samples.push_back({jobs, wall_s, events});
+    std::uint64_t events = 0, reuses = 0, arena_peak = 0, steady = 0;
+    for (const RunResult& r : rep.runs) {
+      events += r.events;
+      reuses += r.workspace_reuses;
+      arena_peak = std::max(arena_peak, r.arena_bytes_peak);
+      steady += r.heap_allocs_steady_state;
+    }
+    samples.push_back({jobs, wall_s, events, reuses, arena_peak, steady});
     if (jobs == 1) {
       baseline = std::move(rep);
     } else {
@@ -65,19 +73,36 @@ int main(int argc, char** argv) {
     }
   }
 
-  TextTable table({"jobs", "wall(s)", "Mevents/s", "speedup"});
+  // Per-worker rate divides the aggregate by the workers that can actually
+  // run at once (min(jobs, cores)); the ratio jobs=N / jobs=1 is the
+  // parallel efficiency the perf gate tracks.  On an oversubscribed box
+  // (jobs > cores) healthy efficiency stays near 1.0 — it only drops when
+  // the workers contend, e.g. on the global allocator lock.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const auto per_worker = [hw](const Sample& s) {
+    const int eff_workers =
+        std::min(s.jobs, static_cast<int>(hw > 0 ? hw : 1));
+    return static_cast<double>(s.events) / s.wall_s /
+           static_cast<double>(eff_workers);
+  };
+  const double serial_rate = per_worker(samples.front());
+
+  TextTable table({"jobs", "wall(s)", "Mevents/s", "speedup", "per-worker",
+                   "efficiency", "steady-allocs"});
   const double serial_wall = samples.front().wall_s;
   for (const Sample& s : samples) {
-    char wall[32], evps[32], speed[32];
+    char wall[32], evps[32], speed[32], pw[32], eff[32];
     std::snprintf(wall, sizeof wall, "%.2f", s.wall_s);
     std::snprintf(evps, sizeof evps, "%.2f",
                   static_cast<double>(s.events) / s.wall_s / 1e6);
     std::snprintf(speed, sizeof speed, "%.2fx", serial_wall / s.wall_s);
-    table.add_row({std::to_string(s.jobs), wall, evps, speed});
+    std::snprintf(pw, sizeof pw, "%.2fM", per_worker(s) / 1e6);
+    std::snprintf(eff, sizeof eff, "%.3f", per_worker(s) / serial_rate);
+    table.add_row({std::to_string(s.jobs), wall, evps, speed, pw, eff,
+                   std::to_string(s.heap_allocs_steady_state)});
   }
   table.print(std::cout);
-  std::printf("\nhardware concurrency: %u   determinism: %s\n",
-              std::thread::hardware_concurrency(),
+  std::printf("\nhardware concurrency: %u   determinism: %s\n", hw,
               deterministic ? "OK (all jobs values bit-identical)"
                             : "VIOLATED");
 
@@ -86,6 +111,7 @@ int main(int argc, char** argv) {
     w.begin_object();
     w.key("points").value(kPoints);
     w.key("deterministic").value(deterministic);
+    w.key("hardware_concurrency").value(static_cast<std::int64_t>(hw));
     w.key("samples").begin_array();
     for (const Sample& s : samples) {
       w.begin_object();
@@ -93,6 +119,11 @@ int main(int argc, char** argv) {
       w.key("wall_s").value(s.wall_s);
       w.key("events").value(s.events);
       w.key("events_per_sec").value(static_cast<double>(s.events) / s.wall_s);
+      w.key("per_worker_events_per_sec").value(per_worker(s));
+      w.key("efficiency").value(per_worker(s) / serial_rate);
+      w.key("workspace_reuses").value(s.workspace_reuses);
+      w.key("arena_bytes_peak").value(s.arena_bytes_peak);
+      w.key("heap_allocs_steady_state").value(s.heap_allocs_steady_state);
       w.end_object();
     }
     w.end_array();

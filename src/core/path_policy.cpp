@@ -17,16 +17,29 @@ const char* to_string(PathPolicy p) {
 PathSelector::PathSelector(PathPolicy policy, int num_switches,
                            std::uint64_t seed)
     : policy_(policy), rng_(seed) {
+  reset(policy, num_switches, seed);
+}
+
+void PathSelector::reset(PathPolicy policy, int num_switches,
+                         std::uint64_t seed) {
+  policy_ = policy;
+  rng_ = Rng(seed);
   const auto n = static_cast<std::size_t>(num_switches);
   if (policy_ == PathPolicy::kRoundRobin) {
     // Random starting offsets: different sources begin their rotation at
     // different alternatives, so the load-spreading effect of round-robin
     // appears immediately instead of only after many repeat messages to
     // the same destination.
-    rr_next_.resize(n);
+    rr_next_.assign(n, 0);
     for (auto& v : rr_next_) v = static_cast<std::uint32_t>(rng_.next_u64());
+  } else {
+    rr_next_.clear();
   }
-  if (policy_ == PathPolicy::kAdaptive) ewma_.assign(n, {});
+  if (policy_ == PathPolicy::kAdaptive) {
+    ewma_.assign(n, {});
+  } else {
+    ewma_.clear();
+  }
 }
 
 int PathSelector::pick(SwitchId dst_switch, int num_alternatives) {

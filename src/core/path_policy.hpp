@@ -30,7 +30,15 @@ enum class PathPolicy : std::uint8_t {
 /// source host" the paper's future-work section sketches.
 class PathSelector {
  public:
+  /// An empty selector (no destinations); reset() before use.
+  PathSelector() : PathSelector(PathPolicy::kSingle, 0, 0) {}
   PathSelector(PathPolicy policy, int num_switches, std::uint64_t seed);
+
+  /// Return the selector to the exact state the corresponding constructor
+  /// would produce (same RNG stream, same rotation offsets), reusing table
+  /// capacity where possible.  Part of the workspace-reuse determinism
+  /// contract (see sim/workspace.hpp).
+  void reset(PathPolicy policy, int num_switches, std::uint64_t seed);
 
   [[nodiscard]] PathPolicy policy() const { return policy_; }
 

@@ -131,6 +131,14 @@ void emit_result(JsonWriter& w, const RunResult& r, bool host_metrics) {
   }
   w.key("peak_event_queue_len").value(r.peak_event_queue_len);
   w.key("events_coalesced").value(r.events_coalesced);
+  if (host_metrics) {
+    // Allocation observability is host-side: a reused workspace reports
+    // different values than a fresh one for the same simulated point, so
+    // these stay out of the canonical (golden-fixture) form.
+    w.key("workspace_reuses").value(r.workspace_reuses);
+    w.key("arena_bytes_peak").value(r.arena_bytes_peak);
+    w.key("heap_allocs_steady_state").value(r.heap_allocs_steady_state);
+  }
   w.key("checked").value(r.checked);
   w.key("invariant_violations").value(r.invariant_violations);
   w.key("violations").begin_array();

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <string>
 
 namespace itb {
@@ -68,8 +70,29 @@ void ThreadPool::worker_loop() {
 
 namespace detail {
 
+namespace {
+
+/// Persistent worker pools, one per requested size, kept alive for the
+/// process (joined at static destruction).  Keeping workers alive is what
+/// lets their thread_local SimWorkspaces — and all the simulation capacity
+/// those hold — survive across driver calls; tearing a pool down per call
+/// would throw that warmed state away and reconstruct it every time.
+/// Callers must not nest pooled_for inside a pooled job (wait_idle from a
+/// worker of the same pool would deadlock); the drivers run nested calls
+/// inline via the jobs <= 1 path.
+ThreadPool& shared_pool(int threads) {
+  static std::mutex mu;
+  static std::map<int, std::unique_ptr<ThreadPool>> pools;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& p = pools[threads];
+  if (!p) p = std::make_unique<ThreadPool>(threads);
+  return *p;
+}
+
+}  // namespace
+
 void pooled_for(int n, int threads, const std::function<void(int)>& fn) {
-  ThreadPool pool(threads);
+  ThreadPool& pool = shared_pool(threads);
   std::atomic<int> next{0};
   std::mutex err_mu;
   std::exception_ptr first_error;

@@ -55,7 +55,8 @@ void append_series_csv(const std::string& path, const std::string& experiment,
   if (empty) {
     os << "experiment,scheme,offered,accepted,lat_net_ns,lat_gen_ns,p99_ns,"
           "itbs_per_msg,saturated,wall_ms,events_per_sec,"
-          "peak_event_queue_len,events_coalesced\n";
+          "peak_event_queue_len,events_coalesced,workspace_reuses,"
+          "arena_bytes_peak,heap_allocs_steady_state\n";
   }
   for (const SweepPoint& p : series) {
     const RunResult& r = p.result;
@@ -64,7 +65,8 @@ void append_series_csv(const std::string& path, const std::string& experiment,
        << r.p99_latency_ns << ',' << r.avg_itbs << ','
        << (r.saturated ? 1 : 0) << ',' << r.wall_ms << ','
        << r.events_per_sec << ',' << r.peak_event_queue_len << ','
-       << r.events_coalesced << '\n';
+       << r.events_coalesced << ',' << r.workspace_reuses << ','
+       << r.arena_bytes_peak << ',' << r.heap_allocs_steady_state << '\n';
   }
 }
 

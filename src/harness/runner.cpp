@@ -10,6 +10,7 @@
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/workspace.hpp"
 #include "traffic/generator.hpp"
 
 namespace itb {
@@ -18,22 +19,25 @@ namespace {
 
 /// Checked mode verifies the whole routing table before a point runs.
 /// Tables are immutable once built and shared across points, so a table
-/// that verified clean is remembered by address and skipped on later
-/// points (also safe under the parallel drivers); a dirty table is
-/// re-verified — and re-reported — every time.
-void verify_routes_checked(const Testbed& tb, const RouteSet& routes,
-                           Network& net) {
+/// that verified clean is remembered — by its generation id, not its
+/// address: a freed RouteSet's address can be reused by a later table,
+/// which would then be falsely skipped, while generation ids are assigned
+/// monotonically and never recycled.  Safe under the parallel drivers; a
+/// dirty table is re-verified — and re-reported — every time.
+void verify_routes_checked(const Testbed& tb, RoutingScheme scheme,
+                           const RouteSet& routes, Network& net) {
   static std::mutex mu;
-  static std::set<const RouteSet*> clean;
+  static std::set<std::uint64_t> clean;
+  const std::uint64_t generation = tb.table_generation(scheme);
   {
     const std::lock_guard<std::mutex> lock(mu);
-    if (clean.count(&routes) != 0) return;
+    if (clean.count(generation) != 0) return;
   }
   const RouteVerifyReport rep = verify_route_set(tb.topo(), tb.updown(),
                                                  routes);
   if (rep.ok()) {
     const std::lock_guard<std::mutex> lock(mu);
-    clean.insert(&routes);
+    clean.insert(generation);
     return;
   }
   for (const InvariantViolation& v : rep.violations) {
@@ -45,17 +49,24 @@ void verify_routes_checked(const Testbed& tb, const RouteSet& routes,
 
 RunResult run_point(const Testbed& tb, RoutingScheme scheme,
                     const DestinationPattern& pattern, const RunConfig& cfg) {
+  return run_point_in(this_thread_workspace(), tb, scheme, pattern, cfg);
+}
+
+RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
+                       RoutingScheme scheme, const DestinationPattern& pattern,
+                       const RunConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
-  Simulator sim(cfg.engine);
   const RouteSet& routes = tb.routes(scheme);
-  Network net(sim, tb.topo(), routes, cfg.params, policy_of(scheme),
-              cfg.seed ^ 0x9e37u);
-  MetricsCollector metrics(tb.topo().num_switches());
+  ws.prepare(cfg.engine, tb.topo(), routes, cfg.params, policy_of(scheme),
+             cfg.seed ^ 0x9e37u);
+  Simulator& sim = ws.sim();
+  Network& net = ws.net();
+  MetricsCollector& metrics = ws.metrics();
   metrics.attach(net);
 
   std::optional<DeadlockWatchdog> watchdog;
   if (cfg.checked) {
-    verify_routes_checked(tb, routes, net);
+    verify_routes_checked(tb, scheme, routes, net);
     watchdog.emplace(sim, net);
   }
 
@@ -64,7 +75,7 @@ RunResult run_point(const Testbed& tb, RoutingScheme scheme,
   tcfg.payload_bytes = cfg.payload_bytes;
   tcfg.poisson = cfg.poisson;
   tcfg.seed = cfg.seed;
-  TrafficGenerator gen(sim, net, pattern, tcfg);
+  TrafficGenerator& gen = ws.generator(pattern, tcfg);
   gen.start();
 
   sim.run_until(cfg.warmup);
@@ -104,8 +115,9 @@ RunResult run_point(const Testbed& tb, RoutingScheme scheme,
   if (cfg.collect_link_util) {
     r.link_util = measure_channel_utilization(net, window);
   }
-  // The generator stops here; outstanding packets are abandoned with the
-  // simulator (single-run scope), which is fine for open-loop measurement.
+  // The generator stops here; outstanding packets sit in the workspace
+  // until the next prepare() discards them, which is fine for open-loop
+  // measurement.
   gen.stop();
   if (watchdog) watchdog->disarm();
 
@@ -127,6 +139,9 @@ RunResult run_point(const Testbed& tb, RoutingScheme scheme,
   r.events = sim.events_executed();
   r.peak_event_queue_len = sim.peak_queue_len();
   r.events_coalesced = net.chunk_events_coalesced();
+  r.workspace_reuses = ws.reuses();
+  r.arena_bytes_peak = net.arena_bytes_peak();
+  r.heap_allocs_steady_state = net.heap_allocs_this_run();
   const auto wall = std::chrono::steady_clock::now() - wall_start;
   r.wall_ms =
       std::chrono::duration<double, std::milli>(wall).count();

@@ -1,10 +1,13 @@
-// Single simulation point: build a network, warm it up, measure a window,
-// and return the paper's metrics.
+// Single simulation point: prepare a per-thread workspace, warm it up,
+// measure a window, and return the paper's metrics.
 //
-// Thread-safety: run_point constructs every piece of mutable state
-// (Simulator, Network, RNGs, collectors) per call and only reads the
-// shared Testbed/pattern, so independent points may run concurrently —
-// the contract the parallel drivers in replicate.hpp/sweep.hpp rely on.
+// Thread-safety: run_point keeps every piece of mutable state (Simulator,
+// Network, RNGs, collectors) in the calling thread's own SimWorkspace and
+// only reads the shared Testbed/pattern, so independent points may run
+// concurrently — the contract the parallel drivers in replicate.hpp /
+// sweep.hpp rely on.  The workspace is RESET between points, not
+// reconstructed; a reused run is bit-identical to a fresh one (see
+// sim/workspace.hpp, enforced by test_workspace).
 #pragma once
 
 #include <cstdint>
@@ -86,12 +89,32 @@ struct RunResult {
   double events_per_sec = 0.0;
   std::uint64_t peak_event_queue_len = 0;  // pending-event high-water mark
   std::uint64_t events_coalesced = 0;      // chunk arrivals elided (POD)
+
+  // Allocation observability (host-side, excluded from determinism
+  // comparisons: a reused workspace legitimately reports different values
+  // than a fresh one for the same simulated point).
+  std::uint64_t workspace_reuses = 0;   // prior points run in this workspace
+  std::uint64_t arena_bytes_peak = 0;   // transient-arena high-water (bytes)
+  // Heap allocations the engine performed during this point (arena blocks +
+  // packet-storage growth).  Zero once a reused workspace has warmed to the
+  // workload's high-water mark — the arena layer's headline property.
+  std::uint64_t heap_allocs_steady_state = 0;
 };
 
-/// Run one (testbed, scheme, pattern, load) point.
+class SimWorkspace;
+
+/// Run one (testbed, scheme, pattern, load) point in the calling thread's
+/// workspace (this_thread_workspace()).
 [[nodiscard]] RunResult run_point(const Testbed& tb, RoutingScheme scheme,
                                   const DestinationPattern& pattern,
                                   const RunConfig& cfg);
+
+/// Run one point in an explicit workspace — the primitive behind run_point,
+/// exposed so tests can pit fresh and reused workspaces against each other.
+[[nodiscard]] RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
+                                     RoutingScheme scheme,
+                                     const DestinationPattern& pattern,
+                                     const RunConfig& cfg);
 
 /// True when every simulated metric of `a` and `b` is bit-identical.
 /// Wall-clock fields (wall_ms, events_per_sec) are ignored — they vary

@@ -1,8 +1,15 @@
 #include "harness/testbed.hpp"
 
+#include <atomic>
+
 #include "core/route_builder.hpp"
 
 namespace itb {
+
+namespace {
+/// Source of table generation ids; 0 is reserved for "not built yet".
+std::atomic<std::uint64_t> g_table_generation{0};
+}  // namespace
 
 const char* to_string(RoutingScheme s) {
   switch (s) {
@@ -34,7 +41,9 @@ Testbed::Testbed(Testbed&& other) noexcept
     : topo_(std::move(other.topo_)),
       updown_(std::move(other.updown_)),
       updown_routes_(std::move(other.updown_routes_)),
-      itb_routes_(std::move(other.itb_routes_)) {}
+      itb_routes_(std::move(other.itb_routes_)),
+      updown_gen_(other.updown_gen_),
+      itb_gen_(other.itb_gen_) {}
 
 Testbed& Testbed::operator=(Testbed&& other) noexcept {
   if (this != &other) {
@@ -42,6 +51,8 @@ Testbed& Testbed::operator=(Testbed&& other) noexcept {
     updown_ = std::move(other.updown_);
     updown_routes_ = std::move(other.updown_routes_);
     itb_routes_ = std::move(other.itb_routes_);
+    updown_gen_ = other.updown_gen_;
+    itb_gen_ = other.itb_gen_;
   }
   return *this;
 }
@@ -52,13 +63,21 @@ const RouteSet& Testbed::routes(RoutingScheme s) const {
     if (!updown_routes_) {
       const SimpleRoutes sr(*topo_, *updown_);
       updown_routes_.emplace(build_updown_routes(*topo_, sr));
+      updown_gen_ = ++g_table_generation;
     }
     return *updown_routes_;
   }
   if (!itb_routes_) {
     itb_routes_.emplace(build_itb_routes(*topo_, *updown_));
+    itb_gen_ = ++g_table_generation;
   }
   return *itb_routes_;
+}
+
+std::uint64_t Testbed::table_generation(RoutingScheme s) const {
+  (void)routes(s);  // ensure the table (and its id) exists
+  std::lock_guard<std::mutex> lock(build_mu_);
+  return s == RoutingScheme::kUpDown ? updown_gen_ : itb_gen_;
 }
 
 void Testbed::warm_all() const {

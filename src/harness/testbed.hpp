@@ -8,6 +8,7 @@
 // Call warm() before fanning out to pre-build tables off the hot path.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -61,12 +62,21 @@ class Testbed {
   /// Pre-build both tables (up*/down* and the shared ITB table).
   void warm_all() const;
 
+  /// Process-unique, monotonically assigned id of the table `routes(s)`
+  /// returns (building it if needed).  Unlike the table's address, a
+  /// generation id is never reused, so caches of per-table facts (e.g. the
+  /// checked-mode "verified clean" set) stay valid after a Testbed dies
+  /// and a later table lands at the same address.
+  [[nodiscard]] std::uint64_t table_generation(RoutingScheme s) const;
+
  private:
   std::unique_ptr<Topology> topo_;
   std::unique_ptr<UpDown> updown_;
   mutable std::mutex build_mu_;
   mutable std::optional<RouteSet> updown_routes_;
   mutable std::optional<RouteSet> itb_routes_;
+  mutable std::uint64_t updown_gen_ = 0;  // assigned when the table is built
+  mutable std::uint64_t itb_gen_ = 0;
 };
 
 }  // namespace itb

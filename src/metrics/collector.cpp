@@ -17,6 +17,11 @@ void MetricsCollector::attach(Network& net) {
       [this](const DeliveryRecord& rec) { on_delivery(rec); });
 }
 
+void MetricsCollector::configure(int num_switches) {
+  num_switches_ = num_switches;
+  reset_window(0);
+}
+
 void MetricsCollector::reset_window(TimePs now) {
   window_start_ = now;
   delivered_ = 0;
@@ -25,7 +30,7 @@ void MetricsCollector::reset_window(TimePs now) {
   spills_ = 0;
   net_latency_.reset();
   total_latency_.reset();
-  hist_ = Histogram(kBucketNs, kBuckets);
+  hist_.clear();
   batches_.reset();
 }
 

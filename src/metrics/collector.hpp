@@ -26,6 +26,12 @@ class MetricsCollector {
   /// Install this collector as the network's delivery callback.
   void attach(Network& net);
 
+  /// Re-target the collector at a (possibly different) topology size and
+  /// discard all recorded state, keeping histogram/batch capacity.  A
+  /// configured collector is indistinguishable from a fresh one (workspace
+  /// reuse).
+  void configure(int num_switches);
+
   /// Begin a measurement window at `now`, discarding everything recorded
   /// so far (used after warm-up).
   void reset_window(TimePs now);

@@ -40,12 +40,14 @@ const char* to_string(PacketEvent e) {
 Network::Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
                  const MyrinetParams& params, PathPolicy policy,
                  std::uint64_t seed)
-    : sim_(&sim), topo_(&topo), routes_(&routes), params_(params),
-      pod_(sim.engine() == EngineKind::kPod),
-      coalesce_(pod_ && params.coalesce_chunk_flow),
-      ledger_(params.ledger_checks) {
-  if (pod_) sim.set_pod_handler(this);
-  if (params_.chunk_flits < 1 || params_.chunk_flits > 8) {
+    : sim_(&sim) {
+  reset(topo, routes, params, policy, seed);
+}
+
+void Network::reset(const Topology& topo, const RouteSet& routes,
+                    const MyrinetParams& params, PathPolicy policy,
+                    std::uint64_t seed) {
+  if (params.chunk_flits < 1 || params.chunk_flits > 8) {
     throw std::invalid_argument(
         "Network: chunk_flits must be in [1, 8]; larger chunks could "
         "overflow the slack buffer before a stop takes effect");
@@ -53,12 +55,27 @@ Network::Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
   if (routes.num_switches() != topo.num_switches()) {
     throw std::invalid_argument("Network: route set/topology mismatch");
   }
+  topo_ = &topo;
+  routes_ = &routes;
+  params_ = params;
+  pod_ = sim_->engine() == EngineKind::kPod;
+  coalesce_ = pod_ && params.coalesce_chunk_flow;
+  ledger_ = params.ledger_checks;
+  if (pod_) sim_->set_pod_handler(this);
 
   // --- wire up channels ---
-  channels_.resize(idx(topo.num_channels()));
-  out_channel_at_.assign(idx(topo.num_switches()),
-                         std::vector<ChannelId>(
-                             idx(topo.ports_per_switch()), ChannelId{-1}));
+  // Value-reinitialise every channel in place (Channel is trivially
+  // copyable, so this reuses the vector's capacity); any arena-spilled
+  // queue buffer is abandoned here and reclaimed by the rewind below.
+  channels_.assign(idx(topo.num_channels()), Channel{});
+  for (Channel& c : channels_) {
+    c.requests.reset(&arena_);
+    c.entries.reset(&arena_);
+    c.incoming.reset(&arena_);
+  }
+  out_port_stride_ = idx(topo.ports_per_switch());
+  out_channel_at_.assign(idx(topo.num_switches()) * out_port_stride_,
+                         ChannelId{-1});
   for (CableId c = 0; c < topo.num_cables(); ++c) {
     const Cable& cb = topo.cable(c);
     const TimePs prop = params_.cable_prop_delay(cb.length_m);
@@ -68,7 +85,8 @@ Network::Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
     fwd.from_switch = true;
     fwd.src_sw = cb.a.sw;
     fwd.src_port = cb.a.port;
-    out_channel_at_[idx(cb.a.sw)][idx(cb.a.port)] = topo.channel_from(c, true);
+    out_channel_at_[idx(cb.a.sw) * out_port_stride_ + idx(cb.a.port)] =
+        topo.channel_from(c, true);
     Channel& rev = chan(topo.channel_from(c, false));  // B side -> A side
     rev.prop_delay = prop;
     rev.into_switch = true;
@@ -87,7 +105,7 @@ Network::Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
       rev.from_switch = true;
       rev.src_sw = cb.b.sw;
       rev.src_port = cb.b.port;
-      out_channel_at_[idx(cb.b.sw)][idx(cb.b.port)] =
+      out_channel_at_[idx(cb.b.sw) * out_port_stride_ + idx(cb.b.port)] =
           topo.channel_from(c, false);
     }
   }
@@ -102,10 +120,35 @@ Network::Network(Simulator& sim, const Topology& topo, const RouteSet& routes,
     n.sw = at.sw;
     n.to_switch = topo.channel_from(at.cable, false);   // host is the B side
     n.from_switch = topo.channel_from(at.cable, true);
-    n.selector = std::make_unique<PathSelector>(
-        policy, topo.num_switches(),
-        seeder.next_u64() ^ static_cast<std::uint64_t>(h));
+    n.source_queue.reset(&arena_);
+    n.itb_queue.reset(&arena_);
+    n.itb_pool_used = 0;
+    n.selector.reset(policy, topo.num_switches(),
+                     seeder.next_u64() ^ static_cast<std::uint64_t>(h));
   }
+
+  // Every spilled buffer has been dropped above; recycle the arena blocks.
+  arena_.rewind();
+
+  // Packet storage persists; rebuild the free list in reverse storage order
+  // so alloc_packet hands slots out in first-fill order again.
+  packet_free_.clear();
+  packet_free_.reserve(packet_storage_.size());
+  for (auto it = packet_storage_.rbegin(); it != packet_storage_.rend(); ++it) {
+    packet_free_.push_back(&*it);
+  }
+
+  on_delivery_ = nullptr;
+  event_sink_ = nullptr;
+  next_packet_id_ = 1;
+  injected_ = 0;
+  delivered_ = 0;
+  itb_spills_ = 0;
+  fc_violations_ = 0;
+  chunk_events_coalesced_ = 0;
+  max_occupancy_ = 0;
+  checks_.clear();
+  heap_allocs_run_base_ = arena_.heap_block_allocs() + packet_heap_allocs_;
 }
 
 void Network::handle_event(const Event& e) {
@@ -158,6 +201,7 @@ Packet* Network::alloc_packet() {
     return p;
   }
   packet_storage_.emplace_back();
+  ++packet_heap_allocs_;
   return &packet_storage_.back();
 }
 
@@ -184,7 +228,7 @@ void Network::inject(HostId src, HostId dst, int payload_bytes) {
   const auto& alts = routes_->alternatives(ssw, dsw);
   assert(!alts.empty());
   Nic& n = nic(src);
-  p->alt_index = n.selector->pick(dsw, static_cast<int>(alts.size()));
+  p->alt_index = n.selector.pick(dsw, static_cast<int>(alts.size()));
   p->route = &alts[idx(p->alt_index)];
   p->delivery_port = topo_->host(dst).port;
   p->leg_wire_flits = leg_start_wire_flits(*p->route, 0, p->payload_flits,
@@ -229,7 +273,7 @@ void Network::nic_try_start(HostId h) {
     c.flow_eject_host = kNoHost;
     p->inject_time = sim_->now();
   }
-  c.incoming.emplace_back(p, c.flow_len);
+  c.incoming.push_back(Incoming{p, c.flow_len});
   try_send(n.to_switch);
 }
 
@@ -389,7 +433,7 @@ void Network::chunk_arrived(ChannelId ch, int k) {
     entry = &c.entries.back();
   } else {
     assert(!c.incoming.empty());
-    auto [pkt, len] = c.incoming.front();
+    const auto [pkt, len] = c.incoming.front();
     c.incoming.pop_front();
     c.entries.push_back(BufferEntry{});
     entry = &c.entries.back();
@@ -483,7 +527,7 @@ void Network::process_header(ChannelId in_ch) {
   Packet* p = e.pkt;
   emit_event(p, PacketEvent::kHeaderAtSwitch, in.dst_sw, kNoHost);
   const PortId port = p->next_port();
-  const ChannelId out_ch = out_channel_at_[idx(in.dst_sw)][idx(port)];
+  const ChannelId out_ch = out_channel(in.dst_sw, port);
   assert(out_ch >= 0 && "route names an unconnected port");
   ITB_DEEP_CHECK(chan(out_ch).src_sw == in.dst_sw,
                  InvariantKind::kIllegalRoute, in_ch,
@@ -526,7 +570,7 @@ void Network::grant_done(ChannelId out_ch) {
   Channel& out = chan(out_ch);
   assert(out.grant_pending && out.owner != nullptr);
   out.grant_pending = false;
-  out.incoming.emplace_back(out.owner, out.flow_len);
+  out.incoming.push_back(Incoming{out.owner, out.flow_len});
   try_send(out_ch);
 }
 
@@ -546,8 +590,7 @@ void Network::grant_next(ChannelId out_ch) {
     }
   }
   const Request req = out.requests[best];
-  out.requests.erase(out.requests.begin() +
-                     static_cast<std::ptrdiff_t>(best));
+  out.requests.erase(&out.requests[best]);
   out.rr_ptr = req.in_port;
   grant(out_ch, req.in_ch, req.pkt);
 }
@@ -655,8 +698,8 @@ void Network::deliver(ChannelId in_ch, BufferEntry& entry) {
   }
   // Close the adaptive-policy loop: the source learns the network latency
   // of the alternative it picked (models an acknowledgment path).
-  nic(p->src).selector->feedback(p->route->dst_switch, p->alt_index,
-                                 p->deliver_time - p->inject_time);
+  nic(p->src).selector.feedback(p->route->dst_switch, p->alt_index,
+                                p->deliver_time - p->inject_time);
 
   c.occupancy -= entry.total_flits;
   auto it = std::find_if(c.entries.begin(), c.entries.end(),

@@ -33,7 +33,6 @@
 #include <deque>
 #include <functional>
 #include <iosfwd>
-#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,7 +42,9 @@
 #include "core/route_set.hpp"
 #include "net/packet.hpp"
 #include "net/params.hpp"
+#include "sim/arena.hpp"
 #include "sim/rng.hpp"
+#include "sim/short_queue.hpp"
 #include "sim/simulator.hpp"
 #include "topo/topology.hpp"
 
@@ -97,6 +98,18 @@ class Network : public PodHandler {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Rebind this network to a (possibly different) topology/route set and
+  /// return every queue, ledger and counter to its just-constructed state,
+  /// reusing channel/NIC/packet-storage capacity in place.  The owning
+  /// Simulator must have been reset first — the engine kind is re-read from
+  /// it and the POD handler re-registered.  A run on a reset network is
+  /// bit-identical to one on a freshly constructed network (same RNG
+  /// streams, same (time, seq) event order) — the workspace determinism
+  /// contract, enforced by test_workspace.
+  void reset(const Topology& topo, const RouteSet& routes,
+             const MyrinetParams& params, PathPolicy policy,
+             std::uint64_t seed = 1);
+
   /// Called for every packet delivered at its final destination.
   void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
 
@@ -127,6 +140,20 @@ class Network : public PodHandler {
   }
   /// Largest slack-buffer occupancy ever observed (flits).
   [[nodiscard]] int max_buffer_occupancy() const { return max_occupancy_; }
+
+  /// High-water mark of transient arena bytes handed to spilled containers
+  /// since the last reset (inline ShortQueue storage is not counted).
+  [[nodiscard]] std::size_t arena_bytes_peak() const {
+    return arena_.bytes_peak();
+  }
+  /// Heap allocations the engine performed since the last reset: new arena
+  /// blocks plus packet-storage growth.  Drops to zero once a reused
+  /// workspace has warmed to the workload's high-water mark — the property
+  /// RunResult::heap_allocs_steady_state surfaces.
+  [[nodiscard]] std::uint64_t heap_allocs_this_run() const {
+    return arena_.heap_block_allocs() + packet_heap_allocs_ -
+           heap_allocs_run_base_;
+  }
 
   /// Violations detected by the always-on ledgers (and recorded into by the
   /// deep checkers in src/check/, which share this sink).  The mutable
@@ -212,6 +239,13 @@ class Network : public PodHandler {
     Packet* pkt;
   };
 
+  /// One flow announced on a channel, in wire order.  (std::pair is not
+  /// trivially copyable, which ShortQueue elements must be.)
+  struct Incoming {
+    Packet* pkt = nullptr;
+    int len = 0;
+  };
+
   struct Channel {
     // static wiring
     TimePs prop_delay = 0;
@@ -246,15 +280,18 @@ class Network : public PodHandler {
     bool grant_pending = false;  // routing delay running, cannot send yet
     bool sender_stopped = false; // last flow-control word was "stop"
 
-    // output arbitration (channels leaving a switch or a NIC)
-    std::vector<Request> requests;
+    // output arbitration (channels leaving a switch or a NIC).  These
+    // FIFO/list members hold 1-4 elements in steady state, so they live
+    // inline in the Channel and spill to the network's arena only under
+    // deep backlogs — steady-state simulation never touches the heap.
+    ShortQueue<Request, 2> requests;
     PortId rr_ptr = 0;
 
     // receiver-side state: the input FIFO this channel feeds
-    std::deque<BufferEntry> entries;
+    ShortQueue<BufferEntry, 2> entries;
     int occupancy = 0;      // flits resident in the buffer
     bool stop_sent = false; // receiver has signalled stop upstream
-    std::deque<std::pair<Packet*, int>> incoming;  // (pkt, len) in wire order
+    ShortQueue<Incoming, 2> incoming;  // announced flows in wire order
 
     // always-on ledgers (checked tier 1)
     std::int64_t wire_flits = 0;  // flits sent but not yet landed
@@ -271,10 +308,10 @@ class Network : public PodHandler {
     SwitchId sw = kNoSwitch;
     ChannelId to_switch = -1;
     ChannelId from_switch = -1;
-    std::deque<Packet*> source_queue;  // generated, not yet injected
-    std::deque<Packet*> itb_queue;     // in-transit, ready to re-inject
+    ShortQueue<Packet*, 4> source_queue;  // generated, not yet injected
+    ShortQueue<Packet*, 4> itb_queue;     // in-transit, ready to re-inject
     std::int64_t itb_pool_used = 0;
-    std::unique_ptr<PathSelector> selector;
+    PathSelector selector;  // reset in place across runs
   };
 
   // ---- engine steps ----
@@ -299,6 +336,10 @@ class Network : public PodHandler {
 
   Channel& chan(ChannelId ch) { return channels_[static_cast<std::size_t>(ch)]; }
   Nic& nic(HostId h) { return nics_[static_cast<std::size_t>(h)]; }
+  [[nodiscard]] ChannelId out_channel(SwitchId sw, PortId port) const {
+    return out_channel_at_[static_cast<std::size_t>(sw) * out_port_stride_ +
+                           static_cast<std::size_t>(port)];
+  }
 
   Packet* alloc_packet();
   void free_packet(Packet* p);
@@ -312,13 +353,19 @@ class Network : public PodHandler {
 
   // ---- members ----
   Simulator* sim_;
-  const Topology* topo_;
-  const RouteSet* routes_;
+  const Topology* topo_ = nullptr;
+  const RouteSet* routes_ = nullptr;
   MyrinetParams params_;
+
+  // Spill target for every ShortQueue in channels_/nics_; rewound wholesale
+  // by reset().  Its address must be stable, which Network's deleted
+  // copy/move guarantees.
+  Arena arena_;
 
   std::vector<Channel> channels_;
   std::vector<Nic> nics_;
-  std::vector<std::vector<ChannelId>> out_channel_at_;  // [switch][port]
+  std::vector<ChannelId> out_channel_at_;  // flattened [switch*stride + port]
+  std::size_t out_port_stride_ = 0;
 
   // Packet arena: storage is stable (deque) and recycled via a free list,
   // so Packet* stays valid for a packet's whole lifetime.
@@ -333,6 +380,10 @@ class Network : public PodHandler {
   std::uint64_t itb_spills_ = 0;
   std::uint64_t fc_violations_ = 0;
   std::uint64_t chunk_events_coalesced_ = 0;
+  // Cumulative packet-storage growth events, and the (arena blocks + packet
+  // growth) watermark captured at the last reset — see heap_allocs_this_run.
+  std::uint64_t packet_heap_allocs_ = 0;
+  std::uint64_t heap_allocs_run_base_ = 0;
   int max_occupancy_ = 0;
   bool pod_ = false;       // simulator runs the POD engine
   bool coalesce_ = false;  // pod_ && params.coalesce_chunk_flow

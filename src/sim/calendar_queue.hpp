@@ -60,6 +60,22 @@ class CalendarQueue {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t peak_size() const { return peak_; }
 
+  /// Drop all pending events and restart the sequence counter and window,
+  /// keeping every bucket's capacity and the far heap's reserve.  Leaves the
+  /// queue indistinguishable from a freshly constructed one (workspace-reuse
+  /// determinism contract).
+  void clear() {
+    for (Bucket& b : near_) b.clear();
+    far_.clear();
+    base_ = 0;
+    near_size_ = 0;
+    size_ = 0;
+    peak_ = 0;
+    next_seq_ = 0;
+    min_idx_ = 0;
+    min_in_far_ = false;
+  }
+
   /// Timestamp of the earliest pending event; kTimeNever when empty.  May
   /// advance the window cursor past empty buckets.
   [[nodiscard]] TimePs next_time() {

@@ -35,6 +35,15 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
+  /// Drop all pending events and restart the sequence counter, keeping the
+  /// heap's capacity.  Leaves the queue indistinguishable from a freshly
+  /// constructed one (workspace-reuse determinism contract).
+  void clear() {
+    heap_.clear();
+    next_seq_ = 0;
+    peak_ = 0;
+  }
+
   /// High-water mark of size() since construction.
   [[nodiscard]] std::size_t peak_size() const { return peak_; }
 

@@ -34,6 +34,24 @@ class Simulator {
 
   [[nodiscard]] EngineKind engine() const { return engine_; }
 
+  /// Return the simulator to its just-constructed state (clock at 0, empty
+  /// queues, counters zeroed, no pod handler), keeping queue/slab capacity.
+  /// The next run is bit-identical to one on a fresh Simulator — the
+  /// workspace-reuse determinism contract (see sim/workspace.hpp).
+  void reset(EngineKind engine) {
+    engine_ = engine;
+    queue_.clear();
+    calendar_.clear();
+    handler_ = nullptr;
+    for (EventFn& fn : slots_) fn = nullptr;  // release captures, keep slab
+    slots_.clear();
+    free_slots_.clear();
+    now_ = 0;
+    executed_ = 0;
+    causality_violations_ = 0;
+    stop_requested_ = false;
+  }
+
   /// Current simulated time.
   [[nodiscard]] TimePs now() const { return now_; }
 

@@ -41,6 +41,13 @@ class Histogram {
   Histogram(double bucket_width, std::size_t num_buckets);
 
   void add(double x);
+  /// Zero every bucket in place (no reallocation — reset_window and
+  /// workspace reuse call this once per measurement window).
+  void clear() {
+    buckets_.assign(buckets_.size(), 0);
+    overflow_ = 0;
+    total_ = 0;
+  }
   [[nodiscard]] std::uint64_t count() const { return total_; }
   /// q in [0,1]; returns the upper edge of the bucket containing the
   /// q-quantile.  Requires count() > 0.

@@ -8,11 +8,18 @@ namespace itb {
 TrafficGenerator::TrafficGenerator(Simulator& sim, Network& net,
                                    const DestinationPattern& pattern,
                                    TrafficConfig cfg)
-    : sim_(&sim), net_(&net), pattern_(&pattern), cfg_(cfg) {
+    : sim_(&sim), net_(&net) {
+  reset(pattern, cfg);
+}
+
+void TrafficGenerator::reset(const DestinationPattern& pattern,
+                             TrafficConfig cfg) {
+  pattern_ = &pattern;
+  cfg_ = cfg;
   if (cfg_.load_flits_per_ns_per_switch <= 0.0 || cfg_.payload_bytes <= 0) {
     throw std::invalid_argument("TrafficGenerator: bad load/payload");
   }
-  const auto& topo = net.topology();
+  const auto& topo = net_->topology();
   // load [flits/ns/switch] * switches = network flits/ns; divide across
   // hosts; a host then emits payload_bytes flits every `interval`.
   const double per_host_flits_per_ns =
@@ -24,8 +31,12 @@ TrafficGenerator::TrafficGenerator(Simulator& sim, Network& net,
           1000.0 +
       0.5);
   assert(interval_ > 0);
+  stopped_ = false;
+  generated_ = 0;
+  tap_ = nullptr;
 
   Rng seeder(cfg_.seed);
+  host_rng_.clear();
   host_rng_.reserve(static_cast<std::size_t>(topo.num_hosts()));
   for (HostId h = 0; h < topo.num_hosts(); ++h) {
     host_rng_.push_back(seeder.fork(static_cast<std::uint64_t>(h)));

@@ -35,6 +35,13 @@ class TrafficGenerator {
   TrafficGenerator(Simulator& sim, Network& net,
                    const DestinationPattern& pattern, TrafficConfig cfg);
 
+  /// Return the generator to the exact state the constructor would produce
+  /// for (pattern, cfg) — same per-host RNG streams, counters zeroed, tap
+  /// cleared — reusing the RNG vector's capacity.  The simulator and
+  /// network bindings are kept (both are reset in place by the owning
+  /// workspace).
+  void reset(const DestinationPattern& pattern, TrafficConfig cfg);
+
   /// Install a tap that sees every injected message.
   void set_tap(MessageTap tap) { tap_ = std::move(tap); }
 

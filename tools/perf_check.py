@@ -41,6 +41,38 @@ def rates(record):
     return out
 
 
+def parallel_efficiency(record):
+    """Per-worker parallel efficiency: jobs=N per-worker rate / jobs=1 rate.
+
+    Per-worker divides the aggregate rate by min(jobs, cores), so on an
+    oversubscribed box healthy efficiency stays near 1.0 and only drops
+    when workers contend (the allocator-lock convoys the workspace layer
+    removes).  Newer records carry the bench-computed ``efficiency``
+    directly; older ones are derived from the aggregate rates.
+    """
+    section = record.get("parallel_scaling", {})
+    samples = [s for s in section.get("samples", []) if "jobs" in s]
+    if not samples:
+        return None
+    top = max(samples, key=lambda s: s["jobs"])
+    if "efficiency" in top:
+        return top["efficiency"]
+    base = next((s for s in samples if s["jobs"] == 1), None)
+    if base is None or "events_per_sec" not in top:
+        return None
+    hw = section.get("hardware_concurrency", 1) or 1
+
+    def per_worker(sample):
+        return sample["events_per_sec"] / min(sample["jobs"], hw)
+
+    return per_worker(top) / per_worker(base)
+
+
+# Absolute floor for parallel efficiency; below this the workers are
+# fighting each other rather than merely sharing a machine.
+EFFICIENCY_FLOOR = 0.9
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -51,12 +83,14 @@ def main():
 
     try:
         with open(args.baseline) as f:
-            baseline = rates(json.load(f))
+            baseline_record = json.load(f)
         with open(args.fresh) as f:
-            fresh = rates(json.load(f))
+            fresh_record = json.load(f)
     except (OSError, ValueError) as err:
         print(f"::warning title=perf-smoke::could not compare records: {err}")
         return 0
+    baseline = rates(baseline_record)
+    fresh = rates(fresh_record)
 
     regressions = 0
     for label, base in sorted(baseline.items()):
@@ -77,6 +111,24 @@ def main():
                   f"({base:.3g} -> {now:.3g} events/s)")
         print(f"  {label}: {base:.3g} -> {now:.3g} "
               f"({ratio:.2f}x){marker}")
+
+    # Parallel-efficiency smoke: the workspace layer's headline number.
+    base_eff = parallel_efficiency(baseline_record)
+    fresh_eff = parallel_efficiency(fresh_record)
+    if fresh_eff is not None:
+        base_txt = f"{base_eff:.3f}" if base_eff is not None else "n/a"
+        print(f"  parallel efficiency (per-worker, jobs=max / jobs=1): "
+              f"{base_txt} -> {fresh_eff:.3f} (floor {EFFICIENCY_FLOOR})")
+        if fresh_eff < EFFICIENCY_FLOOR:
+            regressions += 1
+            print(f"::warning title=perf-smoke::parallel efficiency "
+                  f"{fresh_eff:.3f} below the {EFFICIENCY_FLOOR} floor")
+        elif base_eff is not None and \
+                fresh_eff < base_eff * (1.0 - args.tolerance):
+            regressions += 1
+            print(f"::warning title=perf-smoke::parallel efficiency dropped "
+                  f"{(1.0 - fresh_eff / base_eff) * 100.0:.1f}% vs baseline "
+                  f"({base_eff:.3f} -> {fresh_eff:.3f})")
 
     if regressions == 0:
         print("perf-smoke: no rate regressed beyond "

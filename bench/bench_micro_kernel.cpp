@@ -231,7 +231,16 @@ RunResult end_to_end_point(const Testbed& tb, EngineKind engine,
   cfg.warmup = opts.fast ? us(40) : us(150);
   cfg.measure = opts.fast ? us(100) : us(400);
   cfg.engine = engine;
-  return run_point(tb, RoutingScheme::kItbRr, pat, cfg);
+  // Best events/sec of 3 (the simulated outcome is deterministic; only the
+  // wall clock varies) — the committed record's rates would otherwise carry
+  // one run's scheduling luck.
+  const int reps = 3;
+  RunResult best = run_point(tb, RoutingScheme::kItbRr, pat, cfg);
+  for (int i = 1; i < reps; ++i) {
+    RunResult r = run_point(tb, RoutingScheme::kItbRr, pat, cfg);
+    if (r.events_per_sec > best.events_per_sec) best = std::move(r);
+  }
+  return best;
 }
 
 /// One end-to-end point for the invariant-layer cost A/B: the same workload
@@ -267,6 +276,27 @@ struct WorkspaceAb {
   RunResult reused;
   bool identical = false;
 };
+
+/// One end-to-end point for the telemetry cost A/B: the same POD workload
+/// with one telemetry channel (tracing / sampling / profiling) switched on
+/// by `tweak`.  Best of `reps` like overhead_point.
+RunResult telemetry_point(const Testbed& tb, const BenchOptions& opts,
+                          void (*tweak)(RunConfig&)) {
+  UniformPattern pat(tb.topo().num_hosts());
+  RunConfig cfg;
+  cfg.load_flits_per_ns_per_switch = 0.02;
+  cfg.warmup = opts.fast ? us(40) : us(150);
+  cfg.measure = opts.fast ? us(100) : us(400);
+  cfg.engine = EngineKind::kPod;
+  tweak(cfg);
+  const int reps = 3;
+  RunResult best = run_point(tb, RoutingScheme::kItbRr, pat, cfg);
+  for (int i = 1; i < reps; ++i) {
+    RunResult r = run_point(tb, RoutingScheme::kItbRr, pat, cfg);
+    if (r.events_per_sec > best.events_per_sec) best = std::move(r);
+  }
+  return best;
+}
 
 WorkspaceAb workspace_ab(const Testbed& tb, const BenchOptions& opts) {
   UniformPattern pat(tb.topo().num_hosts());
@@ -326,6 +356,28 @@ int run_json_mode(const BenchOptions& opts) {
 
   const WorkspaceAb ws_ab = workspace_ab(tb, opts);
 
+  // Telemetry cost A/B (same POD workload): the tracer/sampler/profiler
+  // hooks are compiled into the hot path unconditionally and gated by null
+  // pointers, so the disabled baseline IS the ledgers-on run above — the
+  // end-to-end rate perf_check.py holds to the <=2% tracing-disabled
+  // budget.  Each channel is then switched on in turn to record its
+  // enabled cost.
+  const RunResult& tele_off = ledger_on;
+  const RunResult traced =
+      telemetry_point(tb, opts, [](RunConfig& c) { c.trace = true; });
+  const RunResult sampled = telemetry_point(tb, opts, [](RunConfig& c) {
+    c.sample_period = c.measure / 20;
+    c.sample_link_util = true;
+  });
+  const RunResult profiled =
+      telemetry_point(tb, opts, [](RunConfig& c) { c.profile = true; });
+  const double traced_overhead =
+      1.0 - traced.events_per_sec / tele_off.events_per_sec;
+  const double sampled_overhead =
+      1.0 - sampled.events_per_sec / tele_off.events_per_sec;
+  const double profiled_overhead =
+      1.0 - profiled.events_per_sec / tele_off.events_per_sec;
+
   std::printf("engine kernel (%zu held, %llu ops):\n", kHeld,
               static_cast<unsigned long long>(ops));
   std::printf("  legacy  %8.2f Mops/s\n", legacy_ops / 1e6);
@@ -343,6 +395,15 @@ int run_json_mode(const BenchOptions& opts) {
               ledger_on.events_per_sec / 1e6, ledger_overhead * 100.0);
   std::printf("  checked     %8.2f Mev/s   overhead %+.1f%%\n",
               checked_on.events_per_sec / 1e6, checked_overhead * 100.0);
+  std::printf("telemetry cost (POD, best of 3; disabled == ledgers-on):\n");
+  std::printf("  traced   %8.2f Mev/s   overhead %+.1f%%   records %llu\n",
+              traced.events_per_sec / 1e6, traced_overhead * 100.0,
+              static_cast<unsigned long long>(traced.trace_records));
+  std::printf("  sampled  %8.2f Mev/s   overhead %+.1f%%   windows %zu\n",
+              sampled.events_per_sec / 1e6, sampled_overhead * 100.0,
+              sampled.samples.size());
+  std::printf("  profiled %8.2f Mev/s   overhead %+.1f%%\n",
+              profiled.events_per_sec / 1e6, profiled_overhead * 100.0);
   std::printf("workspace reuse (POD, best of 3):\n");
   std::printf("  fresh   %8.2f Mev/s   run allocs %llu\n",
               ws_ab.fresh.events_per_sec / 1e6,
@@ -385,6 +446,19 @@ int run_json_mode(const BenchOptions& opts) {
   w.key("ledger_overhead_frac").value(ledger_overhead);
   w.key("checked_overhead_frac").value(checked_overhead);
   w.end_object();
+  w.key("telemetry").begin_object();
+  w.key("disabled_events_per_sec").value(tele_off.events_per_sec);
+  w.key("traced_events_per_sec").value(traced.events_per_sec);
+  w.key("sampled_events_per_sec").value(sampled.events_per_sec);
+  w.key("profiled_events_per_sec").value(profiled.events_per_sec);
+  w.key("traced_overhead_frac").value(traced_overhead);
+  w.key("sampled_overhead_frac").value(sampled_overhead);
+  w.key("profiled_overhead_frac").value(profiled_overhead);
+  w.key("trace_records").value(traced.trace_records);
+  w.key("trace_dropped").value(traced.trace_dropped);
+  w.key("sample_windows")
+      .value(static_cast<std::uint64_t>(sampled.samples.size()));
+  w.end_object();
   w.key("workspace").begin_object();
   w.key("fresh_events_per_sec").value(ws_ab.fresh.events_per_sec);
   w.key("reused_events_per_sec").value(ws_ab.reused.events_per_sec);
@@ -417,6 +491,18 @@ int run_json_mode(const BenchOptions& opts) {
       checked_on.delivered != ledger_on.delivered ||
       checked_on.avg_latency_ns != ledger_on.avg_latency_ns) {
     std::printf("LEDGER A/B MISMATCH: invariant layer changed the results\n");
+    return 1;
+  }
+  // Telemetry must be a pure observer: tracing, sampling (samples cleared
+  // for the comparison — the baseline did not sample), and profiling all
+  // leave every simulated metric bit-identical.
+  RunResult sampled_cmp = sampled;
+  sampled_cmp.samples.clear();
+  if (!same_simulated_metrics(tele_off, traced) ||
+      !same_simulated_metrics(tele_off, sampled_cmp) ||
+      !same_simulated_metrics(tele_off, profiled)) {
+    std::printf("TELEMETRY A/B MISMATCH: tracing/sampling/profiling changed "
+                "the results\n");
     return 1;
   }
   // Workspace reuse must not change the simulation.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/result_fields.hpp"
+
 namespace itb {
 
 std::string json_quote(const std::string& s) {
@@ -107,40 +109,27 @@ JsonWriter& JsonWriter::value(const std::string& v) {
 }
 
 namespace {
+void emit_field(JsonWriter& w, const ResultField& f, const RunResult& r) {
+  const FieldValue v = f.get(r);
+  w.key(f.json_key);
+  switch (v.type) {
+    case FieldType::kF64: w.value(v.f64); break;
+    case FieldType::kU64: w.value(v.u64); break;
+    case FieldType::kI64: w.value(v.i64); break;
+    case FieldType::kBool: w.value(v.b); break;
+  }
+}
+
 void emit_result(JsonWriter& w, const RunResult& r, bool host_metrics) {
   w.begin_object();
-  w.key("offered").value(r.offered);
-  w.key("accepted").value(r.accepted);
-  w.key("latency_ns").value(r.avg_latency_ns);
-  w.key("latency_gen_ns").value(r.avg_latency_gen_ns);
-  w.key("latency_p50_ns").value(r.p50_latency_ns);
-  w.key("latency_p99_ns").value(r.p99_latency_ns);
-  w.key("latency_ci95_ns").value(r.latency_ci95_ns);
-  w.key("itbs_per_msg").value(r.avg_itbs);
-  w.key("delivered").value(r.delivered);
-  w.key("spills").value(r.spills);
-  w.key("fc_violations").value(r.fc_violations);
-  w.key("max_buffer_occupancy").value(r.max_buffer_occupancy);
-  w.key("saturated").value(r.saturated);
-  if (host_metrics) {
-    w.key("wall_ms").value(r.wall_ms);
+  // Every scalar field comes from the registry (harness/result_fields.cpp);
+  // the canonical (golden-fixture) form skips host-side observability — a
+  // reused workspace or a traced run legitimately reports different values
+  // than a plain run of the same simulated point.
+  for (const ResultField& f : result_fields()) {
+    if (!host_metrics && f.cls == FieldClass::kHost) continue;
+    emit_field(w, f, r);
   }
-  w.key("events").value(r.events);
-  if (host_metrics) {
-    w.key("events_per_sec").value(r.events_per_sec);
-  }
-  w.key("peak_event_queue_len").value(r.peak_event_queue_len);
-  w.key("events_coalesced").value(r.events_coalesced);
-  if (host_metrics) {
-    // Allocation observability is host-side: a reused workspace reports
-    // different values than a fresh one for the same simulated point, so
-    // these stay out of the canonical (golden-fixture) form.
-    w.key("workspace_reuses").value(r.workspace_reuses);
-    w.key("arena_bytes_peak").value(r.arena_bytes_peak);
-    w.key("heap_allocs_steady_state").value(r.heap_allocs_steady_state);
-  }
-  w.key("checked").value(r.checked);
-  w.key("invariant_violations").value(r.invariant_violations);
   w.key("violations").begin_array();
   for (const InvariantViolation& v : r.violations) {
     w.begin_object();
@@ -151,6 +140,43 @@ void emit_result(JsonWriter& w, const RunResult& r, bool host_metrics) {
     w.end_object();
   }
   w.end_array();
+  // Telemetry series are emitted only when captured, so untraced/unsampled
+  // output — including every committed golden — is byte-identical to the
+  // pre-telemetry format.
+  if (!r.samples.empty()) {
+    w.key("samples").begin_array();
+    for (const TimeSeriesSample& s : r.samples) {
+      w.begin_object();
+      w.key("t_start_ps").value(static_cast<std::int64_t>(s.t_start));
+      w.key("t_end_ps").value(static_cast<std::int64_t>(s.t_end));
+      w.key("delivered").value(s.delivered);
+      w.key("accepted").value(s.accepted_flits_per_ns_per_switch);
+      w.key("avg_latency_ns").value(s.avg_latency_ns);
+      w.key("events").value(s.events);
+      w.key("queue_len").value(s.queue_len);
+      w.key("itb_pool_frac").value(s.itb_pool_frac);
+      if (!s.link_util.empty()) {
+        w.key("link_util").begin_array();
+        for (const float u : s.link_util) {
+          w.value(static_cast<double>(u));
+        }
+        w.end_array();
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (host_metrics && !r.profile.empty()) {
+    w.key("profile").begin_object();
+    for (std::size_t i = 0; i < r.profile.size(); ++i) {
+      const PhaseAgg& a = r.profile[i];
+      w.key(to_string(static_cast<Phase>(i))).begin_object();
+      w.key("wall_ns").value(a.wall_ns);
+      w.key("calls").value(a.calls);
+      w.end_object();
+    }
+    w.end_object();
+  }
   w.end_object();
 }
 }  // namespace

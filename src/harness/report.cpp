@@ -1,6 +1,7 @@
 #include "harness/report.hpp"
 
 #include "harness/pool.hpp"
+#include "harness/result_fields.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,21 +53,26 @@ void append_series_csv(const std::string& path, const std::string& experiment,
   const bool empty = !probe.good() || probe.peek() == std::ifstream::traits_type::eof();
   probe.close();
   std::ofstream os(path, std::ios::app);
+  // Columns come from the same registry that drives JSON emission, under
+  // the same names, so the surfaces cannot drift (test_result_fields).
   if (empty) {
-    os << "experiment,scheme,offered,accepted,lat_net_ns,lat_gen_ns,p99_ns,"
-          "itbs_per_msg,saturated,wall_ms,events_per_sec,"
-          "peak_event_queue_len,events_coalesced,workspace_reuses,"
-          "arena_bytes_peak,heap_allocs_steady_state\n";
+    os << "experiment,scheme";
+    for (const ResultField& f : result_fields()) os << ',' << f.json_key;
+    os << '\n';
   }
   for (const SweepPoint& p : series) {
-    const RunResult& r = p.result;
-    os << experiment << ',' << scheme << ',' << r.offered << ',' << r.accepted
-       << ',' << r.avg_latency_ns << ',' << r.avg_latency_gen_ns << ','
-       << r.p99_latency_ns << ',' << r.avg_itbs << ','
-       << (r.saturated ? 1 : 0) << ',' << r.wall_ms << ','
-       << r.events_per_sec << ',' << r.peak_event_queue_len << ','
-       << r.events_coalesced << ',' << r.workspace_reuses << ','
-       << r.arena_bytes_peak << ',' << r.heap_allocs_steady_state << '\n';
+    os << experiment << ',' << scheme;
+    for (const ResultField& f : result_fields()) {
+      const FieldValue v = f.get(p.result);
+      os << ',';
+      switch (v.type) {
+        case FieldType::kF64: os << v.f64; break;
+        case FieldType::kU64: os << v.u64; break;
+        case FieldType::kI64: os << v.i64; break;
+        case FieldType::kBool: os << (v.b ? 1 : 0); break;
+      }
+    }
+    os << '\n';
   }
 }
 

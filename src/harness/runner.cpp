@@ -7,8 +7,10 @@
 
 #include "check/route_verify.hpp"
 #include "check/watchdog.hpp"
+#include "harness/result_fields.hpp"
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
+#include "obs/samplers.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workspace.hpp"
 #include "traffic/generator.hpp"
@@ -64,6 +66,20 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
   MetricsCollector& metrics = ws.metrics();
   metrics.attach(net);
 
+  // Telemetry attachments: the workspace owns the buffers (so their storage
+  // survives reuse); the network only sees non-null pointers when this run
+  // asked for them — disabled runs pay one untaken branch per hook.
+  if (cfg.trace) {
+    ws.tracer().configure(cfg.trace_capacity);
+    net.set_tracer(&ws.tracer());
+  }
+  PhaseProfiler* prof = nullptr;
+  if (cfg.profile) {
+    ws.profiler().clear();
+    prof = &ws.profiler();
+    net.set_profiler(prof);
+  }
+
   std::optional<DeadlockWatchdog> watchdog;
   if (cfg.checked) {
     verify_routes_checked(tb, scheme, routes, net);
@@ -78,17 +94,40 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
   TrafficGenerator& gen = ws.generator(pattern, tcfg);
   gen.start();
 
-  sim.run_until(cfg.warmup);
+  {
+    ScopedPhase phase(prof, Phase::kWarmup);
+    sim.run_until(cfg.warmup);
+  }
   metrics.reset_window(sim.now());
   net.reset_channel_stats();
   const std::uint64_t gen_before = gen.messages_generated();
   const std::uint64_t backlog_before = net.source_backlog_packets();
 
   const TimePs window_end = cfg.warmup + cfg.measure;
-  sim.run_until(window_end);
+  TimeSeriesSampler sampler;
+  {
+    ScopedPhase phase(prof, Phase::kMeasure);
+    if (cfg.sample_period > 0) {
+      // Slice the window at sample boundaries.  run_until executes events
+      // by their own timestamps and pins the clock to each boundary, so
+      // the sliced run is event-for-event identical to the single
+      // run_until below — sampling never perturbs the simulation.
+      sampler.begin(sim.now(), cfg.sample_link_util, sim, net, metrics);
+      for (TimePs b = cfg.warmup + cfg.sample_period; b < window_end;
+           b += cfg.sample_period) {
+        sim.run_until(b);
+        sampler.sample(sim.now(), sim, net, metrics);
+      }
+      sim.run_until(window_end);
+      sampler.sample(sim.now(), sim, net, metrics);
+    } else {
+      sim.run_until(window_end);
+    }
+  }
   const TimePs window = sim.now() - cfg.warmup;
 
   RunResult r;
+  r.samples = sampler.take();
   const double window_ns = to_ns(window);
   const auto switches = static_cast<double>(tb.topo().num_switches());
   const std::uint64_t gen_count = gen.messages_generated() - gen_before;
@@ -142,6 +181,18 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
   r.workspace_reuses = ws.reuses();
   r.arena_bytes_peak = net.arena_bytes_peak();
   r.heap_allocs_steady_state = net.heap_allocs_this_run();
+  if (cfg.trace) {
+    r.trace_records = ws.tracer().recorded();
+    r.trace_dropped = ws.tracer().dropped();
+    r.trace = ws.tracer().snapshot();
+    ws.tracer().disable();
+    net.set_tracer(nullptr);
+  }
+  if (cfg.profile) {
+    const auto& totals = ws.profiler().totals();
+    r.profile.assign(totals.begin(), totals.end());
+    net.set_profiler(nullptr);
+  }
   const auto wall = std::chrono::steady_clock::now() - wall_start;
   r.wall_ms =
       std::chrono::duration<double, std::milli>(wall).count();
@@ -162,20 +213,30 @@ bool same_simulated_metrics(const RunResult& a, const RunResult& b) {
       return false;
     }
   }
-  return a.offered == b.offered && a.accepted == b.accepted &&
-         a.avg_latency_ns == b.avg_latency_ns &&
-         a.avg_latency_gen_ns == b.avg_latency_gen_ns &&
-         a.p50_latency_ns == b.p50_latency_ns &&
-         a.p99_latency_ns == b.p99_latency_ns &&
-         a.latency_ci95_ns == b.latency_ci95_ns &&
-         a.avg_itbs == b.avg_itbs && a.delivered == b.delivered &&
-         a.spills == b.spills && a.fc_violations == b.fc_violations &&
-         a.max_buffer_occupancy == b.max_buffer_occupancy &&
-         a.saturated == b.saturated && a.events == b.events &&
-         a.peak_event_queue_len == b.peak_event_queue_len &&
-         a.events_coalesced == b.events_coalesced &&
-         a.invariant_violations == b.invariant_violations &&
-         a.checked == b.checked;
+  // Windowed samples are simulated-deterministic, so two sampled runs must
+  // match bit-for-bit (a sampled vs. unsampled pair differs in size and is
+  // legitimately unequal — clear one side's samples to compare the rest).
+  if (a.samples.size() != b.samples.size()) return false;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const TimeSeriesSample& s = a.samples[i];
+    const TimeSeriesSample& t = b.samples[i];
+    if (s.t_start != t.t_start || s.t_end != t.t_end ||
+        s.delivered != t.delivered ||
+        s.accepted_flits_per_ns_per_switch !=
+            t.accepted_flits_per_ns_per_switch ||
+        s.avg_latency_ns != t.avg_latency_ns || s.events != t.events ||
+        s.queue_len != t.queue_len || s.itb_pool_frac != t.itb_pool_frac ||
+        s.link_util != t.link_util) {
+      return false;
+    }
+  }
+  // Scalars come from the registry: every kSimulated field participates,
+  // kHost fields (wall clock, allocation and trace bookkeeping) never do.
+  for (const ResultField& f : result_fields()) {
+    if (f.cls != FieldClass::kSimulated) continue;
+    if (f.get(a) != f.get(b)) return false;
+  }
+  return true;
 }
 
 }  // namespace itb

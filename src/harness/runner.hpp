@@ -18,6 +18,9 @@
 #include "harness/testbed.hpp"
 #include "metrics/link_util.hpp"
 #include "net/params.hpp"
+#include "obs/profiler.hpp"
+#include "obs/samplers.hpp"
+#include "obs/trace.hpp"
 #include "sim/event.hpp"
 #include "traffic/patterns.hpp"
 
@@ -53,6 +56,25 @@ struct RunConfig {
   /// grid runs checked.  The watchdog's sampling callbacks add events, so
   /// `events`-bearing results are only comparable at equal `checked`.
   bool checked = checked_build();
+
+  // --- telemetry (src/obs/; all default-off, see docs/OBSERVABILITY.md).
+  // None of these perturb the simulation: a traced/sampled/profiled run is
+  // bit-identical in every simulated metric to a plain one.
+
+  /// Record the packet-lifecycle trace into the workspace's ring buffer
+  /// and snapshot it into RunResult::trace.
+  bool trace = false;
+  /// Ring capacity in records when tracing; the ring keeps the most recent
+  /// records and counts overwrites in RunResult::trace_dropped.
+  std::size_t trace_capacity = std::size_t{1} << 16;
+  /// Simulated-time width of one time-series window; 0 disables sampling.
+  /// The measurement window is sliced at these boundaries (identical event
+  /// sequence — run_until executes events by their own timestamps).
+  TimePs sample_period = 0;
+  /// Also capture per-channel busy fractions in each window's sample.
+  bool sample_link_util = false;
+  /// Run the phase profiler (wall-clock, host-side) over this point.
+  bool profile = false;
 };
 
 struct RunResult {
@@ -99,6 +121,21 @@ struct RunResult {
   // packet-storage growth).  Zero once a reused workspace has warmed to the
   // workload's high-water mark — the arena layer's headline property.
   std::uint64_t heap_allocs_steady_state = 0;
+
+  // Telemetry (cfg.trace / cfg.sample_period / cfg.profile; empty/zero when
+  // off).  trace_records/trace_dropped are classed host-side in the field
+  // registry: the counts themselves replay deterministically, but they
+  // differ between a traced and an untraced run of the same point, and
+  // same_simulated_metrics must hold across exactly that pair.
+  std::uint64_t trace_records = 0;  // observed, including overwritten
+  std::uint64_t trace_dropped = 0;  // overwritten by ring wrap
+  std::vector<PacketTraceRecord> trace;   // chronological ring snapshot
+  /// Windowed time series (simulated-deterministic, compared by
+  /// same_simulated_metrics when both runs sampled).
+  std::vector<TimeSeriesSample> samples;
+  /// Per-phase wall-clock aggregates, indexed by Phase; empty unless
+  /// cfg.profile (host-side).
+  std::vector<PhaseAgg> profile;
 };
 
 class SimWorkspace;

@@ -140,6 +140,8 @@ void Network::reset(const Topology& topo, const RouteSet& routes,
 
   on_delivery_ = nullptr;
   event_sink_ = nullptr;
+  tracer_ = nullptr;
+  prof_ = nullptr;
   next_packet_id_ = 1;
   injected_ = 0;
   delivered_ = 0;
@@ -152,6 +154,11 @@ void Network::reset(const Topology& topo, const RouteSet& routes,
 }
 
 void Network::handle_event(const Event& e) {
+  ScopedPhase phase(prof_, Phase::kEventDispatch);
+  dispatch_event(e);
+}
+
+void Network::dispatch_event(const Event& e) {
   switch (e.kind) {
     case EventKind::kChunkSent: chunk_sent(e.ch, e.a); break;
     case EventKind::kChunkArrived: chunk_arrived(e.ch, e.a); break;
@@ -236,6 +243,9 @@ void Network::inject(HostId src, HostId dst, int payload_bytes) {
   ++injected_;
   n.source_queue.push_back(p);
   emit_event(p, PacketEvent::kInjected, kNoSwitch, src);
+  if (tracer_) {
+    tracer_->record(sim_->now(), TraceKind::kInject, p->id, -1, kNoSwitch, src);
+  }
   nic_try_start(src);
 }
 
@@ -259,6 +269,10 @@ void Network::nic_try_start(HostId h) {
   }
   if (p == nullptr) return;
   c.owner = p;
+  if (tracer_) {
+    tracer_->record(sim_->now(), TraceKind::kChanAcquire, p->id, n.to_switch,
+                    kNoSwitch, h);
+  }
   c.src_in_ch = -1;
   c.flow_len = p->leg_wire_flits;
   c.sent = 0;
@@ -375,6 +389,10 @@ void Network::chunk_sent(ChannelId ch, int k) {
 void Network::sender_done(ChannelId ch) {
   Channel& c = chan(ch);
   Packet* p = c.owner;
+  if (tracer_) {
+    tracer_->record(sim_->now(), TraceKind::kChanRelease, p->id, ch, c.src_sw,
+                    c.src_host);
+  }
 
   if (c.from_switch) {
     Channel& in = chan(c.src_in_ch);
@@ -511,6 +529,7 @@ void Network::burst_arrived(ChannelId ch, int flits) {
 }
 
 void Network::process_header(ChannelId in_ch) {
+  ScopedPhase phase(prof_, Phase::kRouteLookup);
   Channel& in = chan(in_ch);
   BufferEntry& e = in.entries.front();
   assert(!e.header_done && e.arrived_raw > 0);
@@ -526,6 +545,10 @@ void Network::process_header(ChannelId in_ch) {
   }
   Packet* p = e.pkt;
   emit_event(p, PacketEvent::kHeaderAtSwitch, in.dst_sw, kNoHost);
+  if (tracer_) {
+    tracer_->record(sim_->now(), TraceKind::kHeader, p->id, in_ch, in.dst_sw,
+                    kNoHost);
+  }
   const PortId port = p->next_port();
   const ChannelId out_ch = out_channel(in.dst_sw, port);
   assert(out_ch >= 0 && "route names an unconnected port");
@@ -552,6 +575,10 @@ void Network::grant(ChannelId out_ch, ChannelId in_ch, Packet* pkt) {
   assert(out.owner == nullptr);
   assert(!in.entries.empty() && in.entries.front().pkt == pkt);
   out.owner = pkt;
+  if (tracer_) {
+    tracer_->record(sim_->now(), TraceKind::kChanAcquire, pkt->id, out_ch,
+                    out.src_sw, kNoHost);
+  }
   out.src_in_ch = in_ch;
   out.flow_len = in.entries.front().total_flits - 1;
   out.sent = 0;
@@ -638,6 +665,10 @@ void Network::nic_header_arrived(ChannelId in_ch, BufferEntry& entry) {
   entry.is_delivery = false;
   ++p->itbs_used;
   emit_event(p, PacketEvent::kEjectedAtItb, kNoSwitch, chan(in_ch).dst_host);
+  if (tracer_) {
+    tracer_->record(sim_->now(), TraceKind::kEject, p->id, in_ch, kNoSwitch,
+                    chan(in_ch).dst_host);
+  }
   Nic& n = nic(chan(in_ch).dst_host);
   const std::int64_t need = entry.total_flits;  // one byte per flit
   TimePs ready_delay = params_.itb_detect_delay + params_.itb_dma_delay;
@@ -654,6 +685,10 @@ void Network::nic_header_arrived(ChannelId in_ch, BufferEntry& entry) {
     p->spilled_to_host_memory = true;
     entry.reserved_bytes = 0;
     ready_delay += params_.host_memory_penalty;
+    if (tracer_) {
+      tracer_->record(sim_->now(), TraceKind::kSpill, p->id, in_ch, kNoSwitch,
+                      n.id);
+    }
   }
   if (pod_) {
     sim_->schedule_event_in(ready_delay, EventKind::kItbReady, /*ch=*/-1,
@@ -673,6 +708,10 @@ void Network::itb_ready(Packet* p) {
                                            p->payload_flits,
                                            params_.type_bytes);
   emit_event(p, PacketEvent::kReinjectionReady, kNoSwitch, host);
+  if (tracer_) {
+    tracer_->record(sim_->now(), TraceKind::kReinject, p->id, -1, kNoSwitch,
+                    host);
+  }
   Nic& n = nic(host);
   n.itb_queue.push_back(p);
   nic_try_start(host);
@@ -689,8 +728,13 @@ void Network::deliver(ChannelId in_ch, BufferEntry& entry) {
                    "more packets delivered than injected");
   }
   emit_event(p, PacketEvent::kDelivered, kNoSwitch, p->dst);
+  if (tracer_) {
+    tracer_->record(sim_->now(), TraceKind::kDeliver, p->id, in_ch, kNoSwitch,
+                    p->dst);
+  }
 
   if (on_delivery_) {
+    ScopedPhase phase(prof_, Phase::kMetrics);
     on_delivery_(DeliveryRecord{p->src, p->dst, p->payload_flits, p->gen_time,
                                 p->inject_time, p->deliver_time, p->itbs_used,
                                 p->alt_index, p->route->total_switch_hops,
@@ -778,6 +822,7 @@ std::string Network::channel_label(ChannelId ch) const {
 }
 
 void Network::audit_invariants(bool quiescent) {
+  ScopedPhase phase(prof_, Phase::kLedgerChecks);
   const TimePs now = sim_->now();
   // Per-channel ledgers: every occupancy must equal the sum of its live
   // entries' resident flits, and no wire may have landed more than was sent.

@@ -42,6 +42,8 @@
 #include "core/route_set.hpp"
 #include "net/packet.hpp"
 #include "net/params.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "sim/arena.hpp"
 #include "sim/rng.hpp"
 #include "sim/short_queue.hpp"
@@ -118,6 +120,16 @@ class Network : public PodHandler {
   void set_packet_event_sink(PacketEventSink sink) {
     event_sink_ = std::move(sink);
   }
+
+  /// Attach a packet-lifecycle tracer (src/obs/trace.hpp).  Null disables;
+  /// every hot-path hook is a single null test when disabled.  Cleared by
+  /// reset().
+  void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
+
+  /// Attach a phase profiler (src/obs/profiler.hpp) timing event dispatch,
+  /// route lookup, ledger audits and the metrics callback.  Null disables.
+  /// Cleared by reset().
+  void set_profiler(PhaseProfiler* prof) { prof_ = prof; }
 
   /// Queue a message (ready in the source NIC's memory now) for injection.
   void inject(HostId src, HostId dst, int payload_bytes);
@@ -215,6 +227,14 @@ class Network : public PodHandler {
   /// Flits currently queued at source NICs (injection backlog), across all
   /// hosts; grows without bound past saturation.
   [[nodiscard]] std::uint64_t source_backlog_packets() const;
+
+  /// Bytes currently reserved across every NIC's ITB pool (time-series
+  /// sampler: pool-occupancy signal).
+  [[nodiscard]] std::int64_t itb_pool_used_total() const {
+    std::int64_t total = 0;
+    for (const Nic& n : nics_) total += n.itb_pool_used;
+    return total;
+  }
 
   /// Diagnostic dump of every busy channel (owner, progress, flow-control
   /// state) — used to investigate stalls in tests.
@@ -315,6 +335,7 @@ class Network : public PodHandler {
   };
 
   // ---- engine steps ----
+  void dispatch_event(const Event& e);
   void try_send(ChannelId ch);
   void chunk_sent(ChannelId ch, int k);
   void chunk_arrived(ChannelId ch, int k);
@@ -374,6 +395,8 @@ class Network : public PodHandler {
 
   DeliveryCallback on_delivery_;
   PacketEventSink event_sink_;
+  PacketTracer* tracer_ = nullptr;   // null unless a run asked for tracing
+  PhaseProfiler* prof_ = nullptr;    // null unless a run asked for profiling
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t injected_ = 0;
   std::uint64_t delivered_ = 0;

@@ -1,0 +1,99 @@
+// Phase profiler: scoped wall-clock timers over engine stages, aggregated
+// per run.
+//
+// The Network (and the harness run loop) hold a `PhaseProfiler*` that is
+// null unless the run asked for profiling (RunConfig::profile), so every
+// scope compiles to a single null test when disabled.  When enabled, each
+// scope costs two steady_clock reads — a real observer effect on the
+// per-event phases (documented in docs/OBSERVABILITY.md), which is why the
+// profiler reports wall time per phase rather than pretending to be free.
+//
+// Phase times are INCLUSIVE: kEventDispatch brackets the whole POD dispatch
+// and therefore contains kRouteLookup / kMetrics time spent inside it.
+// Wall-clock totals are host-side observability and never feed back into
+// the simulation, so profiling cannot change simulated results.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace itb {
+
+enum class Phase : std::uint8_t {
+  kWarmup,         // harness: warm-up run_until
+  kMeasure,        // harness: measurement-window run_until
+  kEventDispatch,  // Network::handle_event (POD engine dispatch)
+  kRouteLookup,    // header consumption + output-port lookup + arbitration
+  kLedgerChecks,   // end-of-window conservation audit
+  kMetrics,        // delivery callback into the metrics collector
+  kCount,
+};
+
+[[nodiscard]] inline const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kWarmup: return "warmup";
+    case Phase::kMeasure: return "measure";
+    case Phase::kEventDispatch: return "event_dispatch";
+    case Phase::kRouteLookup: return "route_lookup";
+    case Phase::kLedgerChecks: return "ledger_checks";
+    case Phase::kMetrics: return "metrics";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+/// Aggregated wall time and entry count for one phase.
+struct PhaseAgg {
+  std::int64_t wall_ns = 0;
+  std::uint64_t calls = 0;
+};
+
+class PhaseProfiler {
+ public:
+  static constexpr std::size_t kPhases = static_cast<std::size_t>(Phase::kCount);
+
+  void clear() { agg_ = {}; }
+
+  void add(Phase p, std::int64_t wall_ns) {
+    PhaseAgg& a = agg_[static_cast<std::size_t>(p)];
+    a.wall_ns += wall_ns;
+    ++a.calls;
+  }
+
+  [[nodiscard]] const PhaseAgg& agg(Phase p) const {
+    return agg_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const std::array<PhaseAgg, kPhases>& totals() const {
+    return agg_;
+  }
+
+ private:
+  std::array<PhaseAgg, kPhases> agg_{};
+};
+
+/// RAII scope: times its lifetime into `profiler` (no-op when null).
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* profiler, Phase phase)
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedPhase() {
+    if (profiler_ != nullptr) {
+      const auto wall = std::chrono::steady_clock::now() - start_;
+      profiler_->add(
+          phase_,
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+    }
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace itb

@@ -66,6 +66,11 @@ class Simulator {
     return causality_violations_;
   }
 
+  /// Events pending right now (time-series sampler: queue-depth signal).
+  [[nodiscard]] std::size_t queue_len() const {
+    return engine_ == EngineKind::kPod ? calendar_.size() : queue_.size();
+  }
+
   /// High-water mark of pending events across the run.
   [[nodiscard]] std::size_t peak_queue_len() const {
     return engine_ == EngineKind::kPod ? calendar_.peak_size()

@@ -11,6 +11,7 @@
 //   itbsim --topology irregular:16:4:2:99 --list-topology
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -20,6 +21,9 @@
 
 #include "core/route_io.hpp"
 #include "harness/json.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/samplers.hpp"
+#include "sim/workspace.hpp"
 #include "harness/pool.hpp"
 #include "harness/replicate.hpp"
 #include "harness/report.hpp"
@@ -67,7 +71,19 @@ using namespace itb;
                "                   every N)\n"
                "  --list-topology  print the topology description and exit\n"
                "  --dump-routes N  print routes whose first alternative uses\n"
-               "                   >= N in-transit hosts, then exit\n",
+               "                   >= N in-transit hosts, then exit\n"
+               " telemetry (single-point mode):\n"
+               "  --trace PATH     record a packet-lifecycle trace and write\n"
+               "                   Chrome/Perfetto trace-event JSON (load it\n"
+               "                   at ui.perfetto.dev or chrome://tracing)\n"
+               "  --trace-raw PATH write the raw trace as CSV (convert later\n"
+               "                   with tools/trace2perfetto.py)\n"
+               "  --trace-capacity N  trace ring size in records (default\n"
+               "                   65536; oldest records drop on overflow)\n"
+               "  --samples PATH   append windowed time-series samples as CSV\n"
+               "  --sample-us N    sample window width (default measure/20)\n"
+               "  --profile        time engine phases, report per-phase wall\n"
+               "                   clock (included in --json output)\n",
                argv0);
   std::exit(2);
 }
@@ -148,6 +164,11 @@ int main(int argc, char** argv) {
   int replications = 1;
   int jobs = default_jobs();
   std::optional<int> dump_routes_min;
+  std::string trace_path;
+  std::string trace_raw_path;
+  std::string samples_path;
+  long long sample_us = 0;
+  bool profile = false;
   RunConfig cfg;
 
   auto need_value = [&](int& i) -> std::string {
@@ -175,6 +196,13 @@ int main(int argc, char** argv) {
       else if (arg == "--jobs") jobs = std::stoi(need_value(i));
       else if (arg == "--list-topology") list_topology = true;
       else if (arg == "--dump-routes") dump_routes_min = std::stoi(need_value(i));
+      else if (arg == "--trace") trace_path = need_value(i);
+      else if (arg == "--trace-raw") trace_raw_path = need_value(i);
+      else if (arg == "--trace-capacity")
+        cfg.trace_capacity = static_cast<std::size_t>(std::stoull(need_value(i)));
+      else if (arg == "--samples") samples_path = need_value(i);
+      else if (arg == "--sample-us") sample_us = std::stoll(need_value(i));
+      else if (arg == "--profile") profile = true;
       else if (arg == "--help" || arg == "-h") usage(argv[0]);
       else usage(argv[0], "unknown option '" + arg + "'");
     } catch (const std::invalid_argument&) {
@@ -265,6 +293,14 @@ int main(int argc, char** argv) {
       }
     } else {
       cfg.load_flits_per_ns_per_switch = load;
+      cfg.trace = !trace_path.empty() || !trace_raw_path.empty();
+      cfg.profile = profile;
+      if (!samples_path.empty() || sample_us > 0) {
+        cfg.sample_period =
+            sample_us > 0 ? us(sample_us) : cfg.measure / 20;
+        if (cfg.sample_period <= 0) cfg.sample_period = cfg.measure;
+        cfg.sample_link_util = true;
+      }
       const RunResult r = run_point(tb, *scheme, *pattern, cfg);
       std::vector<SweepPoint> one{{load, r}};
       if (as_json) {
@@ -274,6 +310,41 @@ int main(int argc, char** argv) {
       }
       append_series_csv(csv, tb.topo().name() + "/" + pattern_spec,
                         scheme_name, one);
+      // run_point left the calling thread's workspace prepared for this
+      // point, so its network still carries the channel labels the
+      // exporter needs.
+      const Network& net = this_thread_workspace().net();
+      if (!trace_path.empty()) {
+        std::ofstream os(trace_path);
+        os << trace_to_chrome_json(r.trace, net, r.trace_dropped);
+        if (!os) throw std::runtime_error("cannot write " + trace_path);
+        std::fprintf(stderr,
+                     "trace: %llu records (%llu dropped) -> %s\n",
+                     static_cast<unsigned long long>(r.trace_records),
+                     static_cast<unsigned long long>(r.trace_dropped),
+                     trace_path.c_str());
+      }
+      if (!trace_raw_path.empty()) {
+        std::ofstream os(trace_raw_path);
+        os << trace_to_csv(r.trace);
+        if (!os) throw std::runtime_error("cannot write " + trace_raw_path);
+      }
+      if (!samples_path.empty()) {
+        append_samples_csv(samples_path,
+                           tb.topo().name() + "/" + pattern_spec, scheme_name,
+                           r.samples);
+      }
+      if (profile && !as_json) {
+        std::printf("# phase profile (wall clock, inclusive)\n");
+        for (std::size_t i = 0; i < r.profile.size(); ++i) {
+          const PhaseAgg& a = r.profile[i];
+          if (a.calls == 0) continue;
+          std::printf("  %-16s %10.3f ms  %12llu calls\n",
+                      to_string(static_cast<Phase>(i)),
+                      static_cast<double>(a.wall_ns) / 1e6,
+                      static_cast<unsigned long long>(a.calls));
+        }
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "itbsim: %s\n", e.what());

@@ -33,6 +33,11 @@ def rates(record):
                 "checked_events_per_sec"):
         if key in overhead:
             out[f"checked_overhead.{key}"] = overhead[key]
+    telemetry = mk.get("telemetry", {})
+    for key in ("disabled_events_per_sec", "traced_events_per_sec",
+                "sampled_events_per_sec", "profiled_events_per_sec"):
+        if key in telemetry:
+            out[f"telemetry.{key}"] = telemetry[key]
     for sample in record.get("parallel_scaling", {}).get("samples", []):
         if "jobs" in sample and "events_per_sec" in sample:
             out[f"parallel_scaling.jobs{sample['jobs']}.events_per_sec"] = (
@@ -71,6 +76,11 @@ def parallel_efficiency(record):
 # Absolute floor for parallel efficiency; below this the workers are
 # fighting each other rather than merely sharing a machine.
 EFFICIENCY_FLOOR = 0.9
+
+# Budget for the telemetry layer's compiled-in-but-disabled cost: the
+# end-to-end POD rate (tracer/profiler hooks present, gated off by null
+# pointers) may sit at most this fraction below the committed baseline.
+TRACING_OVERHEAD_BUDGET = 0.02
 
 
 def main():
@@ -111,6 +121,30 @@ def main():
                   f"({base:.3g} -> {now:.3g} events/s)")
         print(f"  {label}: {base:.3g} -> {now:.3g} "
               f"({ratio:.2f}x){marker}")
+
+    # Tracing-disabled overhead smoke: the telemetry hooks live in the hot
+    # path behind null-pointer gates, so the plain end-to-end rate is the
+    # measure of their disabled cost.  Budgeted tighter than the general
+    # tolerance; same warning-only caveat (absolute rates vary by machine).
+    base_pod = baseline.get("end_to_end.pod_events_per_sec")
+    fresh_pod = fresh.get("end_to_end.pod_events_per_sec")
+    if base_pod and fresh_pod:
+        overhead = 1.0 - fresh_pod / base_pod
+        print(f"  tracing-disabled overhead vs baseline: "
+              f"{overhead * 100.0:+.1f}% "
+              f"(budget {TRACING_OVERHEAD_BUDGET * 100.0:.0f}%)")
+        if overhead > TRACING_OVERHEAD_BUDGET:
+            regressions += 1
+            print(f"::warning title=perf-smoke::tracing-disabled end-to-end "
+                  f"rate {overhead * 100.0:.1f}% below baseline (budget "
+                  f"{TRACING_OVERHEAD_BUDGET * 100.0:.0f}%)")
+    # Enabled-telemetry costs within the fresh record (informational).
+    tele_off = fresh.get("telemetry.disabled_events_per_sec")
+    for label in ("traced", "sampled", "profiled"):
+        rate = fresh.get(f"telemetry.{label}_events_per_sec")
+        if tele_off and rate:
+            print(f"  telemetry {label}: {rate:.3g} events/s "
+                  f"({(1.0 - rate / tele_off) * 100.0:+.1f}% vs disabled)")
 
     # Parallel-efficiency smoke: the workspace layer's headline number.
     base_eff = parallel_efficiency(baseline_record)

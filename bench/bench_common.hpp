@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "harness/pool.hpp"
+#include "sim/pool.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"

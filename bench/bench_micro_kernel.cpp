@@ -327,6 +327,69 @@ WorkspaceAb workspace_ab(const Testbed& tb, const BenchOptions& opts) {
   return ab;
 }
 
+/// Route-store A/B: legacy nested staging vs the compressed contiguous
+/// store, on the 512-host torus the other sections use.  Records build
+/// time (nested, flat serial, flat parallel), table memory, and the dedup
+/// count; build times are best of `reps` (construction is deterministic,
+/// only the wall clock varies).
+struct RouteStoreAb {
+  double nested_build_ms = 0.0;
+  double flat_build_jobs1_ms = 0.0;
+  double flat_build_jobsn_ms = 0.0;
+  int parallel_jobs = 0;
+  std::uint64_t nested_bytes = 0;
+  std::uint64_t flat_bytes = 0;
+  std::uint64_t segments_shared = 0;
+  std::uint64_t num_routes = 0;
+  bool parallel_identical = false;
+};
+
+RouteStoreAb route_store_ab(const Topology& topo, const UpDown& ud) {
+  const int reps = 3;
+  RouteStoreAb ab;
+  ab.parallel_jobs = 8;
+
+  auto best_ms = [&](auto&& build) {
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      build();
+      const std::chrono::duration<double, std::milli> dt =
+          std::chrono::steady_clock::now() - t0;
+      if (i == 0 || dt.count() < best) best = dt.count();
+    }
+    return best;
+  };
+
+  const NestedRouteTable nested = build_itb_routes_nested(topo, ud);
+  ab.nested_bytes = nested_table_bytes(nested);
+  ab.nested_build_ms =
+      best_ms([&] { (void)build_itb_routes_nested(topo, ud); });
+
+  const RouteSet flat1 = build_itb_routes(topo, ud, {}, 1);
+  ab.flat_bytes = flat1.table_bytes();
+  ab.segments_shared = flat1.segments_shared();
+  ab.num_routes = flat1.store().num_routes();
+  ab.flat_build_jobs1_ms =
+      best_ms([&] { (void)build_itb_routes(topo, ud, {}, 1); });
+  ab.flat_build_jobsn_ms = best_ms(
+      [&] { (void)build_itb_routes(topo, ud, {}, ab.parallel_jobs); });
+
+  const RouteSet flatn = build_itb_routes(topo, ud, {}, ab.parallel_jobs);
+  const auto same = [](auto a, auto b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size_bytes()) == 0);
+  };
+  ab.parallel_identical =
+      same(flat1.store().port_pool(), flatn.store().port_pool()) &&
+      same(flat1.store().switch_pool(), flatn.store().switch_pool()) &&
+      same(flat1.store().flat_legs(), flatn.store().flat_legs()) &&
+      same(flat1.store().flat_routes(), flatn.store().flat_routes()) &&
+      same(flat1.store().pair_index(), flatn.store().pair_index());
+  return ab;
+}
+
 int run_json_mode(const BenchOptions& opts) {
   const std::vector<TimePs> deltas = make_deltas();
   const std::uint64_t ops = opts.fast ? 1'000'000 : 4'000'000;
@@ -355,6 +418,8 @@ int run_json_mode(const BenchOptions& opts) {
       1.0 - checked_on.events_per_sec / ledger_off.events_per_sec;
 
   const WorkspaceAb ws_ab = workspace_ab(tb, opts);
+
+  const RouteStoreAb rs_ab = route_store_ab(tb.topo(), tb.updown());
 
   // Telemetry cost A/B (same POD workload): the tracer/sampler/profiler
   // hooks are compiled into the hot path unconditionally and gated by null
@@ -404,6 +469,21 @@ int run_json_mode(const BenchOptions& opts) {
               sampled.samples.size());
   std::printf("  profiled %8.2f Mev/s   overhead %+.1f%%\n",
               profiled.events_per_sec / 1e6, profiled_overhead * 100.0);
+  std::printf("route store (ITB table, 512-host torus, best of 3):\n");
+  std::printf("  nested build %8.2f ms   %8.2f KiB\n", rs_ab.nested_build_ms,
+              static_cast<double>(rs_ab.nested_bytes) / 1024.0);
+  std::printf("  flat jobs=1  %8.2f ms   %8.2f KiB   shrink %.2fx   "
+              "shared segs %llu\n",
+              rs_ab.flat_build_jobs1_ms,
+              static_cast<double>(rs_ab.flat_bytes) / 1024.0,
+              static_cast<double>(rs_ab.nested_bytes) /
+                  static_cast<double>(rs_ab.flat_bytes),
+              static_cast<unsigned long long>(rs_ab.segments_shared));
+  std::printf("  flat jobs=%d  %8.2f ms   build speedup %.2fx   "
+              "bit-identical %s\n",
+              rs_ab.parallel_jobs, rs_ab.flat_build_jobsn_ms,
+              rs_ab.flat_build_jobs1_ms / rs_ab.flat_build_jobsn_ms,
+              rs_ab.parallel_identical ? "yes" : "NO");
   std::printf("workspace reuse (POD, best of 3):\n");
   std::printf("  fresh   %8.2f Mev/s   run allocs %llu\n",
               ws_ab.fresh.events_per_sec / 1e6,
@@ -458,6 +538,26 @@ int run_json_mode(const BenchOptions& opts) {
   w.key("trace_dropped").value(traced.trace_dropped);
   w.key("sample_windows")
       .value(static_cast<std::uint64_t>(sampled.samples.size()));
+  w.end_object();
+  w.key("route_store").begin_object();
+  w.key("testbed").value("torus 8x8, 8 hosts/switch (512 hosts)");
+  w.key("nested_build_ms").value(rs_ab.nested_build_ms);
+  w.key("flat_build_jobs1_ms").value(rs_ab.flat_build_jobs1_ms);
+  w.key("flat_build_jobs8_ms").value(rs_ab.flat_build_jobsn_ms);
+  w.key("parallel_jobs").value(static_cast<std::uint64_t>(rs_ab.parallel_jobs));
+  w.key("parallel_build_speedup")
+      .value(rs_ab.flat_build_jobs1_ms / rs_ab.flat_build_jobsn_ms);
+  w.key("nested_table_bytes").value(rs_ab.nested_bytes);
+  w.key("flat_table_bytes").value(rs_ab.flat_bytes);
+  w.key("table_shrink")
+      .value(static_cast<double>(rs_ab.nested_bytes) /
+             static_cast<double>(rs_ab.flat_bytes));
+  w.key("segments_shared").value(rs_ab.segments_shared);
+  w.key("num_routes").value(rs_ab.num_routes);
+  w.key("parallel_bit_identical").value(rs_ab.parallel_identical);
+  // The end_to_end section's pod rate IS the flat-store e2e number;
+  // perf_check compares it against the nested-era baseline in BENCH_pr5.
+  w.key("flat_e2e_events_per_sec").value(pod_e2e.events_per_sec);
   w.end_object();
   w.key("workspace").begin_object();
   w.key("fresh_events_per_sec").value(ws_ab.fresh.events_per_sec);

@@ -32,13 +32,13 @@ ChannelLoadModel compute_channel_load(const Topology& topo,
 
     const SwitchId ssw = topo.host(src).sw;
     const SwitchId dsw = topo.host(dst).sw;
-    const auto& alts = routes.alternatives(ssw, dsw);
+    const AltsView alts = routes.alternatives(ssw, dsw);
     assert(!alts.empty());
     const std::size_t alt =
         (policy == PathPolicy::kSingle || alts.size() == 1)
             ? 0
             : rng.next_below(alts.size());
-    const Route& r = alts[alt];
+    const RouteView r = alts[alt];
     itbs += r.num_itbs();
     hops += r.total_switch_hops;
 
@@ -51,7 +51,7 @@ ChannelLoadModel compute_channel_load(const Topology& topo,
     // Fabric and in-transit channels, leg by leg.
     std::size_t sw_index = 0;
     for (std::size_t li = 0; li < r.legs.size(); ++li) {
-      const RouteLeg& leg = r.legs[li];
+      const LegView leg = r.legs[li];
       for (int h = 0; h < leg.switch_hops; ++h) {
         const SwitchId from = r.switches[sw_index];
         const PortPeer& peer =

@@ -6,7 +6,7 @@
 
 namespace itb {
 
-TimePs zero_load_latency(const Topology& topo, const Route& route,
+TimePs zero_load_latency(const Topology& topo, const RouteView& route,
                          int payload_bytes, const MyrinetParams& params) {
   const TimePs F = params.flit_time;
   const TimePs R = params.routing_delay;
@@ -17,7 +17,7 @@ TimePs zero_load_latency(const Topology& topo, const Route& route,
   SwitchId at = route.src_switch;
   std::size_t leg_start_index = 0;  // index into route.switches
   for (std::size_t li = 0; li < route.legs.size(); ++li) {
-    const RouteLeg& leg = route.legs[li];
+    const LegView leg = route.legs[li];
     const bool final_leg = li + 1 == route.legs.size();
 
     // Access cable: the sending host (source or in-transit) to `at`.
@@ -70,7 +70,7 @@ double average_zero_load_latency_ns(const Topology& topo,
   long pairs = 0;
   for (SwitchId s = 0; s < topo.num_switches(); ++s) {
     for (SwitchId d = 0; d < topo.num_switches(); ++d) {
-      const auto& alts = routes.alternatives(s, d);
+      const AltsView alts = routes.alternatives(s, d);
       if (alts.empty()) continue;
       // Weight by the number of host pairs using this switch pair.
       const long hs = static_cast<long>(topo.hosts_of_switch(s).size());

@@ -21,7 +21,8 @@ namespace itb {
 /// Predicted injection-to-delivery latency for one packet following
 /// `route` with `payload_bytes` of payload, on an otherwise idle network.
 /// Exact for chunk_flits == 1 and itb_detect+dma >= one flit time.
-[[nodiscard]] TimePs zero_load_latency(const Topology& topo, const Route& route,
+[[nodiscard]] TimePs zero_load_latency(const Topology& topo,
+                                       const RouteView& route,
                                        int payload_bytes,
                                        const MyrinetParams& params);
 

@@ -1,5 +1,6 @@
 #include "check/route_verify.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "core/itb_split.hpp"
@@ -28,7 +29,7 @@ struct PairContext {
 /// Re-trace the route's port bytes through the topology.  Returns false
 /// (after reporting) when the walk is structurally broken; on success fills
 /// `path` and `splits` (leg boundaries as indices into the switch walk).
-bool retrace_route(const PairContext& ctx, const Route& r, int alt,
+bool retrace_route(const PairContext& ctx, const RouteView& r, int alt,
                    SwitchPath& path, std::vector<int>& splits) {
   const Topology& topo = *ctx.topo;
   SwitchId cur = r.src_switch;
@@ -36,7 +37,7 @@ bool retrace_route(const PairContext& ctx, const Route& r, int alt,
   path.cable.clear();
   splits.clear();
   for (std::size_t li = 0; li < r.legs.size(); ++li) {
-    const RouteLeg& leg = r.legs[li];
+    const LegView leg = r.legs[li];
     const bool final_leg = li + 1 == r.legs.size();
     // Intermediate legs carry one trailing port to the in-transit host; the
     // final leg's delivery port is appended per packet, not stored here.
@@ -94,11 +95,11 @@ bool retrace_route(const PairContext& ctx, const Route& r, int alt,
 /// Stable identity of an alternative for pairwise-distinctness: the switch
 /// walk plus the in-transit hosts (two alternatives over the same switches
 /// but different ITB hosts are genuinely different routes).
-std::string route_identity(const Route& r) {
+std::string route_identity(const RouteView& r) {
   std::string id;
   for (const SwitchId s : r.switches) id += std::to_string(s) + ",";
   id += "|";
-  for (const RouteLeg& l : r.legs) id += std::to_string(l.end_host) + ",";
+  for (const LegView l : r.legs) id += std::to_string(l.end_host) + ",";
   return id;
 }
 
@@ -116,7 +117,7 @@ RouteVerifyReport verify_route_set(const Topology& topo, const UpDown& ud,
       if (s == d) continue;
       PairContext ctx{&topo, &ud, s, d,
                       static_cast<std::int64_t>(s) * n + d, &report};
-      const auto& alts = routes.alternatives(s, d);
+      const AltsView alts = routes.alternatives(s, d);
       ++report.pairs_checked;
       if (alts.empty()) {
         ctx.fail(-1, "no route installed");
@@ -129,7 +130,7 @@ RouteVerifyReport verify_route_set(const Topology& topo, const UpDown& ud,
       }
       std::vector<std::string> seen;
       for (std::size_t a = 0; a < alts.size(); ++a) {
-        const Route& r = alts[a];
+        const RouteView r = alts[a];
         const int alt = static_cast<int>(a);
         ++report.routes_checked;
 
@@ -155,7 +156,8 @@ RouteVerifyReport verify_route_set(const Topology& topo, const UpDown& ud,
                             std::to_string(d));
           continue;
         }
-        if (path.sw != r.switches) {
+        if (!std::equal(path.sw.begin(), path.sw.end(),
+                        r.switches.begin(), r.switches.end())) {
           ctx.fail(alt, "recorded switch sequence disagrees with port walk");
         }
         if (path.hops() != r.total_switch_hops) {

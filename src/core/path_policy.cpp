@@ -24,6 +24,7 @@ void PathSelector::reset(PathPolicy policy, int num_switches,
                          std::uint64_t seed) {
   policy_ = policy;
   rng_ = Rng(seed);
+  num_switches_ = num_switches;
   const auto n = static_cast<std::size_t>(num_switches);
   if (policy_ == PathPolicy::kRoundRobin) {
     // Random starting offsets: different sources begin their rotation at
@@ -35,11 +36,26 @@ void PathSelector::reset(PathPolicy policy, int num_switches,
   } else {
     rr_next_.clear();
   }
-  if (policy_ == PathPolicy::kAdaptive) {
-    ewma_.assign(n, {});
-  } else {
-    ewma_.clear();
+  // All destinations unexplored; the flat table regrows its stride on
+  // demand (capacity is kept, so a reset-and-rerun reuses the storage).
+  ewma_.clear();
+  ewma_stride_ = 0;
+}
+
+void PathSelector::ensure_ewma_stride(int alts) {
+  if (alts <= ewma_stride_) return;
+  const auto n = static_cast<std::size_t>(num_switches_);
+  const auto old_s = static_cast<std::size_t>(ewma_stride_);
+  const auto new_s = static_cast<std::size_t>(alts);
+  ewma_.resize(n * new_s, -1.0);
+  // Re-layout in place from the last row down (regions cannot overlap
+  // forward when widening).
+  for (std::size_t dst = n; dst-- > 0;) {
+    for (std::size_t a = new_s; a-- > 0;) {
+      ewma_[dst * new_s + a] = a < old_s ? ewma_[dst * old_s + a] : -1.0;
+    }
   }
+  ewma_stride_ = alts;
 }
 
 int PathSelector::pick(SwitchId dst_switch, int num_alternatives) {
@@ -59,18 +75,16 @@ int PathSelector::pick(SwitchId dst_switch, int num_alternatives) {
       return static_cast<int>(
           rng_.next_below(static_cast<std::uint64_t>(num_alternatives)));
     case PathPolicy::kAdaptive: {
-      auto& scores = ewma_[static_cast<std::size_t>(dst_switch)];
-      if (scores.size() < static_cast<std::size_t>(num_alternatives)) {
-        scores.resize(static_cast<std::size_t>(num_alternatives), -1.0);
-      }
+      ensure_ewma_stride(num_alternatives);
+      const double* scores = ewma_row(dst_switch);
       if (rng_.next_bool(kExploreEps)) {
         return static_cast<int>(
             rng_.next_below(static_cast<std::uint64_t>(num_alternatives)));
       }
       int best = 0;
       for (int i = 0; i < num_alternatives; ++i) {
-        const double si = scores[static_cast<std::size_t>(i)];
-        const double sb = scores[static_cast<std::size_t>(best)];
+        const double si = scores[i];
+        const double sb = scores[best];
         if (si < 0) return i;  // unexplored alternative first
         if (si < sb) best = i;
       }
@@ -83,11 +97,8 @@ int PathSelector::pick(SwitchId dst_switch, int num_alternatives) {
 void PathSelector::feedback(SwitchId dst_switch, int alternative,
                             TimePs latency) {
   if (policy_ != PathPolicy::kAdaptive) return;
-  auto& scores = ewma_[static_cast<std::size_t>(dst_switch)];
-  if (scores.size() <= static_cast<std::size_t>(alternative)) {
-    scores.resize(static_cast<std::size_t>(alternative) + 1, -1.0);
-  }
-  double& s = scores[static_cast<std::size_t>(alternative)];
+  ensure_ewma_stride(alternative + 1);
+  double& s = ewma_row(dst_switch)[alternative];
   const auto l = static_cast<double>(latency);
   s = (s < 0) ? l : (1.0 - kEwmaAlpha) * s + kEwmaAlpha * l;
 }

@@ -46,10 +46,25 @@ class PathSelector {
   void feedback(SwitchId dst_switch, int alternative, TimePs latency);
 
  private:
+  /// Grow the EWMA table's row stride to at least `alts` columns,
+  /// re-laying existing rows out in place (new cells read "unexplored").
+  void ensure_ewma_stride(int alts);
+
+  [[nodiscard]] double* ewma_row(SwitchId dst_switch) {
+    return ewma_.data() + static_cast<std::size_t>(dst_switch) *
+                              static_cast<std::size_t>(ewma_stride_);
+  }
+
   PathPolicy policy_;
   Rng rng_;
-  std::vector<std::uint32_t> rr_next_;       // per destination switch
-  std::vector<std::vector<double>> ewma_;    // per destination switch, per alt
+  int num_switches_ = 0;
+  std::vector<std::uint32_t> rr_next_;  // per destination switch
+  // One flat num_switches x ewma_stride_ array (row-major, -1.0 means
+  // unexplored) instead of a vector per destination: the same
+  // pointer-chasing fix as the route store, selector-local.  The stride
+  // grows lazily to the widest alternative count seen, preserving values.
+  std::vector<double> ewma_;
+  int ewma_stride_ = 0;
   static constexpr double kEwmaAlpha = 0.1;
   static constexpr double kExploreEps = 0.1;
 };

@@ -36,6 +36,8 @@ struct RouteLeg {
 
   /// Switch-to-switch cables crossed by this leg.
   int switch_hops = 0;
+
+  bool operator==(const RouteLeg&) const = default;
 };
 
 struct Route {
@@ -52,6 +54,8 @@ struct Route {
   [[nodiscard]] int num_itbs() const {
     return static_cast<int>(legs.size()) - 1;
   }
+
+  bool operator==(const Route&) const = default;
 };
 
 }  // namespace itb

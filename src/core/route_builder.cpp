@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
+#include <utility>
 
 #include "core/itb_split.hpp"
 #include "route/minimal_paths.hpp"
+#include "sim/pool.hpp"
 
 namespace itb {
 
@@ -59,66 +62,138 @@ Route compile_route(const Topology& topo, const SwitchPath& path,
   return r;
 }
 
-RouteSet build_updown_routes(const Topology& topo, const SimpleRoutes& sr) {
-  RouteSet rs(topo.num_switches(), RoutingAlgorithm::kUpDown);
+namespace {
+
+/// One staged row: the alternatives of every destination for one source
+/// switch.  Row construction is a pure function of (topo, inputs, s) —
+/// the determinism contract parallel_for_n requires.
+using Row = std::vector<std::vector<Route>>;
+
+Row updown_row(const Topology& topo, const SimpleRoutes& sr, SwitchId s) {
+  Row row(static_cast<std::size_t>(topo.num_switches()));
+  for (SwitchId d = 0; d < topo.num_switches(); ++d) {
+    const SwitchPath& p = sr.route(s, d);
+    row[idx(d)].push_back(compile_route(topo, p, {}, 0, 0));
+  }
+  return row;
+}
+
+Row itb_row(const Topology& topo, const UpDown& ud,
+            const ItbBuildOptions& opts, SwitchId s) {
+  Row row(static_cast<std::size_t>(topo.num_switches()));
+  for (SwitchId d = 0; d < topo.num_switches(); ++d) {
+    std::vector<Route>& alts = row[idx(d)];
+    // Per-pair rotation of the DFS direction order: ITB-SP's pinned
+    // "first minimal path" is then spread across directions network-wide
+    // (see enumerate_minimal_paths).
+    const auto rotation = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(s) * 0x9e3779b9u +
+         static_cast<std::uint64_t>(d) * 0x85ebca6bu) >>
+        16);
+    const auto paths =
+        enumerate_minimal_paths(topo, s, d, opts.max_alternatives, rotation);
+    int alt_index = 0;
+    for (const SwitchPath& p : paths) {
+      const auto splits = itb_split_points(ud, p);
+      // Skip candidates whose split switch has no host to eject into.
+      bool feasible = true;
+      for (const int sp : splits) {
+        if (topo.hosts_of_switch(p.sw[idx(sp)]).empty()) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      alts.push_back(
+          compile_route(topo, p, splits, alt_index, opts.itb_host_salt));
+      ++alt_index;
+    }
+    if (alts.empty()) {
+      // No usable minimal path (can only happen on host-less split
+      // switches); fall back to a shortest legal route.
+      const auto legal = ud.shortest_legal_paths(s, d, 1);
+      if (legal.empty()) {
+        throw std::runtime_error("build_itb_routes: pair unreachable");
+      }
+      alts.push_back(compile_route(topo, legal.front(), {}, 0, 0));
+    }
+    if (opts.prefer_fewest_itbs) {
+      // ITB-SP uses alternative 0: prefer routes with fewer in-transit
+      // stops; the sort is stable so the DFS order breaks ties.
+      std::stable_sort(alts.begin(), alts.end(),
+                       [](const Route& a, const Route& b) {
+                         return a.num_itbs() < b.num_itbs();
+                       });
+    }
+  }
+  return row;
+}
+
+/// Stage rows (in parallel when jobs > 1) and compress them in (s,d)
+/// order.  The merge is serial and ordered, so the flat arrays are a pure
+/// function of the row values: bit-identical for every jobs value.
+template <typename RowFn>
+RouteSet build_flat(int n, RoutingAlgorithm algo, int jobs, RowFn&& row_fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RouteStoreBuilder b(static_cast<std::size_t>(n) *
+                      static_cast<std::size_t>(n));
+  if (jobs <= 1) {
+    for (SwitchId s = 0; s < n; ++s) {
+      const Row row = row_fn(s);
+      for (SwitchId d = 0; d < n; ++d) b.append_pair(row[idx(d)]);
+    }
+  } else {
+    // Per-worker staging: each row is an index-ordered slot, built by
+    // whichever worker picks it up.  NOTE: callers on pool worker threads
+    // must pass jobs == 1 (pooled_for must not nest; see sim/pool.hpp).
+    std::vector<Row> rows = parallel_map<Row>(
+        n, jobs, [&](int s) { return row_fn(static_cast<SwitchId>(s)); });
+    for (SwitchId s = 0; s < n; ++s) {
+      for (SwitchId d = 0; d < n; ++d) b.append_pair(rows[idx(s)][idx(d)]);
+      Row().swap(rows[idx(s)]);  // free staging as soon as it is merged
+    }
+  }
+  RouteSet rs(n, algo, b.finish());
+  rs.set_build_ms(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+  return rs;
+}
+
+}  // namespace
+
+RouteSet build_updown_routes(const Topology& topo, const SimpleRoutes& sr,
+                             int jobs) {
+  return build_flat(topo.num_switches(), RoutingAlgorithm::kUpDown, jobs,
+                    [&](SwitchId s) { return updown_row(topo, sr, s); });
+}
+
+RouteSet build_itb_routes(const Topology& topo, const UpDown& ud,
+                          ItbBuildOptions opts, int jobs) {
+  return build_flat(topo.num_switches(), RoutingAlgorithm::kItb, jobs,
+                    [&](SwitchId s) { return itb_row(topo, ud, opts, s); });
+}
+
+NestedRouteTable build_updown_routes_nested(const Topology& topo,
+                                            const SimpleRoutes& sr) {
+  NestedRouteTable rs(topo.num_switches(), RoutingAlgorithm::kUpDown);
   for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    Row row = updown_row(topo, sr, s);
     for (SwitchId d = 0; d < topo.num_switches(); ++d) {
-      const SwitchPath& p = sr.route(s, d);
-      rs.mutable_alternatives(s, d).push_back(
-          compile_route(topo, p, {}, 0, 0));
+      rs.mutable_alternatives(s, d) = std::move(row[idx(d)]);
     }
   }
   return rs;
 }
 
-RouteSet build_itb_routes(const Topology& topo, const UpDown& ud,
-                          ItbBuildOptions opts) {
-  RouteSet rs(topo.num_switches(), RoutingAlgorithm::kItb);
+NestedRouteTable build_itb_routes_nested(const Topology& topo,
+                                         const UpDown& ud,
+                                         ItbBuildOptions opts) {
+  NestedRouteTable rs(topo.num_switches(), RoutingAlgorithm::kItb);
   for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    Row row = itb_row(topo, ud, opts, s);
     for (SwitchId d = 0; d < topo.num_switches(); ++d) {
-      auto& alts = rs.mutable_alternatives(s, d);
-      // Per-pair rotation of the DFS direction order: ITB-SP's pinned
-      // "first minimal path" is then spread across directions network-wide
-      // (see enumerate_minimal_paths).
-      const auto rotation = static_cast<unsigned>(
-          (static_cast<std::uint64_t>(s) * 0x9e3779b9u +
-           static_cast<std::uint64_t>(d) * 0x85ebca6bu) >>
-          16);
-      const auto paths =
-          enumerate_minimal_paths(topo, s, d, opts.max_alternatives, rotation);
-      int alt_index = 0;
-      for (const SwitchPath& p : paths) {
-        const auto splits = itb_split_points(ud, p);
-        // Skip candidates whose split switch has no host to eject into.
-        bool feasible = true;
-        for (const int sp : splits) {
-          if (topo.hosts_of_switch(p.sw[idx(sp)]).empty()) {
-            feasible = false;
-            break;
-          }
-        }
-        if (!feasible) continue;
-        alts.push_back(
-            compile_route(topo, p, splits, alt_index, opts.itb_host_salt));
-        ++alt_index;
-      }
-      if (alts.empty()) {
-        // No usable minimal path (can only happen on host-less split
-        // switches); fall back to a shortest legal route.
-        const auto legal = ud.shortest_legal_paths(s, d, 1);
-        if (legal.empty()) {
-          throw std::runtime_error("build_itb_routes: pair unreachable");
-        }
-        alts.push_back(compile_route(topo, legal.front(), {}, 0, 0));
-      }
-      if (opts.prefer_fewest_itbs) {
-        // ITB-SP uses alternative 0: prefer routes with fewer in-transit
-        // stops; the sort is stable so the DFS order breaks ties.
-        std::stable_sort(alts.begin(), alts.end(),
-                         [](const Route& a, const Route& b) {
-                           return a.num_itbs() < b.num_itbs();
-                         });
-      }
+      rs.mutable_alternatives(s, d) = std::move(row[idx(d)]);
     }
   }
   return rs;

@@ -1,4 +1,13 @@
 // Construction of the two routing tables the paper compares.
+//
+// Both builders stage per-source-switch rows of materialized Routes and
+// compress them into the flat contiguous store (core/route_store.hpp).
+// Row construction is independent per source switch, so with `jobs` > 1
+// the staging fans out across the shared thread pool (sim/pool.hpp); the
+// compression pass then consumes rows strictly in (s,d) order, making the
+// result bit-identical to the serial build.  The `*_nested` variants
+// return the raw staged representation for the differential harness and
+// the bench A/B.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +33,11 @@ struct ItbBuildOptions {
 };
 
 /// UP/DOWN baseline: one simple_routes-selected legal path per pair,
-/// single-leg routes (no in-transit hosts).
+/// single-leg routes (no in-transit hosts).  `jobs` > 1 stages rows in
+/// parallel; the result is bit-identical for every jobs value.
 [[nodiscard]] RouteSet build_updown_routes(const Topology& topo,
-                                           const SimpleRoutes& sr);
+                                           const SimpleRoutes& sr,
+                                           int jobs = 1);
 
 /// ITB table: up to `max_alternatives` *minimal* paths per pair, each split
 /// into legal legs with in-transit hosts at the violating switches.
@@ -35,10 +46,18 @@ struct ItbBuildOptions {
 /// minimal path whenever one exists.  A minimal path whose required split
 /// switch has no attached host is discarded; if every candidate is
 /// discarded the pair falls back to one shortest legal (up*/down*) route so
-/// connectivity is never lost.
+/// connectivity is never lost.  `jobs` as in build_updown_routes.
 [[nodiscard]] RouteSet build_itb_routes(const Topology& topo,
                                         const UpDown& ud,
-                                        ItbBuildOptions opts = {});
+                                        ItbBuildOptions opts = {},
+                                        int jobs = 1);
+
+/// Legacy nested staging tables (differential tests, bench A/B).  Same
+/// route values as the flat builders, serial construction.
+[[nodiscard]] NestedRouteTable build_updown_routes_nested(
+    const Topology& topo, const SimpleRoutes& sr);
+[[nodiscard]] NestedRouteTable build_itb_routes_nested(
+    const Topology& topo, const UpDown& ud, ItbBuildOptions opts = {});
 
 /// Helper shared by both builders: lowers a switch-level path (plus split
 /// points for ITB legs) into a runtime Route with concrete ports and

@@ -6,7 +6,7 @@
 
 namespace itb {
 
-std::string format_route(const Topology& topo, const Route& r) {
+std::string format_route(const Topology& topo, const RouteView& r) {
   (void)topo;
   std::ostringstream os;
   os << "s" << r.src_switch << "->s" << r.dst_switch
@@ -14,7 +14,7 @@ std::string format_route(const Topology& topo, const Route& r) {
      << " legs=[";
   for (std::size_t li = 0; li < r.legs.size(); ++li) {
     if (li > 0) os << " | ";
-    const RouteLeg& leg = r.legs[li];
+    const LegView leg = r.legs[li];
     for (std::size_t pi = 0; pi < leg.ports.size(); ++pi) {
       if (pi > 0) os << ",";
       os << "p" << leg.ports[pi];
@@ -34,7 +34,7 @@ void dump_routes(std::ostream& os, const Topology& topo, const RouteSet& rs,
                  int min_itbs) {
   for (SwitchId s = 0; s < rs.num_switches(); ++s) {
     for (SwitchId d = 0; d < rs.num_switches(); ++d) {
-      const auto& alts = rs.alternatives(s, d);
+      const AltsView alts = rs.alternatives(s, d);
       if (alts.empty() || alts.front().num_itbs() < min_itbs) continue;
       for (std::size_t a = 0; a < alts.size(); ++a) {
         os << "alt" << a << " " << format_route(topo, alts[a]) << "\n";
@@ -50,11 +50,11 @@ std::string summarize_route_set(const Topology& topo, const RouteSet& rs) {
   for (SwitchId s = 0; s < rs.num_switches(); ++s) {
     for (SwitchId d = 0; d < rs.num_switches(); ++d) {
       if (s == d) continue;
-      const auto& alts = rs.alternatives(s, d);
+      const AltsView alts = rs.alternatives(s, d);
       if (alts.empty()) continue;
       ++pairs;
       routes += static_cast<long>(alts.size());
-      for (const Route& r : alts) {
+      for (const RouteView r : alts) {
         ++by_itbs[static_cast<std::size_t>(std::min(r.num_itbs(), 3))];
       }
     }

@@ -1,0 +1,53 @@
+#include "core/route_set.hpp"
+
+namespace itb {
+
+RouteSet::RouteSet(const NestedRouteTable& nested)
+    : num_switches_(nested.num_switches()), algo_(nested.algorithm()) {
+  const int n = nested.num_switches();
+  RouteStoreBuilder b(static_cast<std::size_t>(n) *
+                      static_cast<std::size_t>(n));
+  for (SwitchId s = 0; s < n; ++s) {
+    for (SwitchId d = 0; d < n; ++d) {
+      b.append_pair(nested.alternatives(s, d));
+    }
+  }
+  store_ = b.finish();
+}
+
+NestedRouteTable RouteSet::materialize_nested() const {
+  NestedRouteTable out(num_switches_, algo_);
+  for (SwitchId s = 0; s < num_switches_; ++s) {
+    for (SwitchId d = 0; d < num_switches_; ++d) {
+      std::vector<Route>& alts = out.mutable_alternatives(s, d);
+      const AltsView views = alternatives(s, d);
+      alts.reserve(views.size());
+      for (const RouteView v : views) alts.push_back(materialize_route(v));
+    }
+  }
+  return out;
+}
+
+std::uint64_t nested_table_bytes(const NestedRouteTable& t) {
+  const int n = t.num_switches();
+  // Count size()-based storage, not capacity: the fairest possible
+  // baseline for the nested layout (real capacities only grow it).
+  std::uint64_t bytes = static_cast<std::uint64_t>(n) *
+                        static_cast<std::uint64_t>(n) *
+                        sizeof(std::vector<Route>);
+  for (SwitchId s = 0; s < n; ++s) {
+    for (SwitchId d = 0; d < n; ++d) {
+      for (const Route& r : t.alternatives(s, d)) {
+        bytes += sizeof(Route);
+        bytes += r.switches.size() * sizeof(SwitchId);
+        for (const RouteLeg& leg : r.legs) {
+          bytes += sizeof(RouteLeg);
+          bytes += leg.ports.size() * sizeof(PortId);
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace itb

@@ -5,18 +5,33 @@
 // ordered (source switch, destination switch) pair and the delivery port is
 // appended per packet.  The paper caps alternatives at 10 per pair to keep
 // NIC look-up cheap; the same cap is the default here.
+//
+// Two representations:
+//
+//  - NestedRouteTable: mutable `vector<vector<Route>>` staging — what the
+//    builders and hand-constructed test fixtures write into.
+//  - RouteSet: the compressed contiguous store (core/route_store.hpp) —
+//    what every runtime consumer reads.  Immutable after construction;
+//    lookups return lightweight views.
+//
+// `RouteSet(nested)` compresses a staged table; `materialize_nested()`
+// inflates the store back into owning Routes for tests, IO and the
+// differential harness.  Compression consumes pairs in (s,d) order, so the
+// flat arrays are a pure function of the staged route *values* — identical
+// bytes no matter how many threads staged them.
 #pragma once
 
 #include <vector>
 
 #include "core/route.hpp"
+#include "core/route_store.hpp"
 #include "topo/topology.hpp"
 
 namespace itb {
 
-class RouteSet {
+class NestedRouteTable {
  public:
-  RouteSet(int num_switches, RoutingAlgorithm algo)
+  NestedRouteTable(int num_switches, RoutingAlgorithm algo)
       : num_switches_(num_switches), algo_(algo),
         table_(static_cast<std::size_t>(num_switches) *
                static_cast<std::size_t>(num_switches)) {}
@@ -44,5 +59,62 @@ class RouteSet {
   RoutingAlgorithm algo_;
   std::vector<std::vector<Route>> table_;
 };
+
+class RouteSet {
+ public:
+  /// Compress a staged nested table into the flat store.
+  explicit RouteSet(const NestedRouteTable& nested);
+
+  /// Wrap an already-built store (used by the parallel builders, which
+  /// compress per-worker staging rows without materializing the whole
+  /// nested table at once).
+  RouteSet(int num_switches, RoutingAlgorithm algo, RouteStore store)
+      : num_switches_(num_switches), algo_(algo), store_(std::move(store)) {}
+
+  [[nodiscard]] RoutingAlgorithm algorithm() const { return algo_; }
+  [[nodiscard]] int num_switches() const { return num_switches_; }
+
+  [[nodiscard]] AltsView alternatives(SwitchId s, SwitchId d) const {
+    return store_.pair(key(s, d));
+  }
+
+  [[nodiscard]] RouteView view(SwitchId s, SwitchId d, int alt) const {
+    return alternatives(s, d)[static_cast<std::size_t>(alt)];
+  }
+
+  /// Owning copy of one alternative (tests / IO).
+  [[nodiscard]] Route materialize(SwitchId s, SwitchId d, int alt) const {
+    return materialize_route(view(s, d, alt));
+  }
+
+  /// Inflate the whole store back into a nested table.
+  [[nodiscard]] NestedRouteTable materialize_nested() const;
+
+  [[nodiscard]] const RouteStore& store() const { return store_; }
+  [[nodiscard]] std::uint64_t table_bytes() const {
+    return store_.table_bytes();
+  }
+  [[nodiscard]] std::uint64_t segments_shared() const {
+    return store_.segments_shared();
+  }
+  [[nodiscard]] double build_ms() const { return store_.build_ms(); }
+  void set_build_ms(double ms) { store_.set_build_ms(ms); }
+
+ private:
+  [[nodiscard]] std::size_t key(SwitchId s, SwitchId d) const {
+    return static_cast<std::size_t>(s) *
+               static_cast<std::size_t>(num_switches_) +
+           static_cast<std::size_t>(d);
+  }
+
+  int num_switches_;
+  RoutingAlgorithm algo_;
+  RouteStore store_;
+};
+
+/// Heap footprint of a nested table (object headers + vector storage),
+/// the baseline the compressed store's table_bytes() is compared against
+/// in benches and tests.
+[[nodiscard]] std::uint64_t nested_table_bytes(const NestedRouteTable& t);
 
 }  // namespace itb

@@ -15,7 +15,7 @@ RouteSetStats analyze_routes(const Topology& topo, const RouteSet& rs) {
   for (SwitchId s = 0; s < n; ++s) {
     for (SwitchId d = 0; d < n; ++d) {
       if (s == d) continue;
-      const auto& alts = rs.alternatives(s, d);
+      const AltsView alts = rs.alternatives(s, d);
       if (alts.empty()) continue;
       ++pairs;
       alts_total += static_cast<long>(alts.size());
@@ -25,7 +25,7 @@ RouteSetStats analyze_routes(const Topology& topo, const RouteSet& rs) {
       hops_sp += alts.front().total_switch_hops;
       itbs_sp += alts.front().num_itbs();
       if (alts.front().total_switch_hops == min_dist) ++minimal_sp;
-      for (const Route& r : alts) {
+      for (const RouteView r : alts) {
         hops_all += r.total_switch_hops;
         itbs_all += r.num_itbs();
       }

@@ -1,0 +1,109 @@
+#include "core/route_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace itb {
+
+namespace {
+
+template <typename T>
+std::string byte_key(const std::vector<T>& seq) {
+  if (seq.empty()) return {};
+  return {reinterpret_cast<const char*>(seq.data()),
+          seq.size() * sizeof(T)};
+}
+
+}  // namespace
+
+RouteStoreBuilder::RouteStoreBuilder(std::size_t num_pairs) {
+  store_.pairs_.reserve(num_pairs);
+}
+
+std::uint32_t RouteStoreBuilder::intern_ports(
+    const std::vector<PortId>& ports) {
+  const auto [it, inserted] = port_segments_.try_emplace(
+      byte_key(ports), static_cast<std::uint32_t>(store_.port_pool_.size()));
+  if (inserted) {
+    store_.port_pool_.insert(store_.port_pool_.end(), ports.begin(),
+                             ports.end());
+  } else {
+    ++store_.segments_shared_;
+  }
+  return it->second;
+}
+
+std::uint32_t RouteStoreBuilder::intern_switches(
+    const std::vector<SwitchId>& sws) {
+  const auto [it, inserted] = switch_segments_.try_emplace(
+      byte_key(sws), static_cast<std::uint32_t>(store_.switch_pool_.size()));
+  if (inserted) {
+    store_.switch_pool_.insert(store_.switch_pool_.end(), sws.begin(),
+                               sws.end());
+  }
+  return it->second;
+}
+
+void RouteStoreBuilder::append_pair(const std::vector<Route>& alts) {
+  PairSlot slot;
+  slot.first_route = static_cast<std::uint32_t>(store_.routes_.size());
+  slot.count = static_cast<std::uint32_t>(alts.size());
+  store_.pairs_.push_back(slot);
+  for (const Route& r : alts) {
+    FlatRoute fr;
+    fr.src_switch = r.src_switch;
+    fr.dst_switch = r.dst_switch;
+    fr.first_leg = static_cast<std::uint32_t>(store_.legs_.size());
+    fr.switch_off = intern_switches(r.switches);
+    fr.leg_count = static_cast<std::uint16_t>(r.legs.size());
+    fr.switch_count = static_cast<std::uint16_t>(r.switches.size());
+    fr.total_switch_hops = r.total_switch_hops;
+    store_.routes_.push_back(fr);
+    for (const RouteLeg& leg : r.legs) {
+      if (leg.ports.size() > 0xffff) {
+        throw std::length_error("route leg exceeds 65535 ports");
+      }
+      FlatLeg fl;
+      fl.port_off = intern_ports(leg.ports);
+      fl.port_count = static_cast<std::uint16_t>(leg.ports.size());
+      fl.switch_hops = static_cast<std::uint16_t>(leg.switch_hops);
+      fl.end_host = leg.end_host;
+      store_.legs_.push_back(fl);
+    }
+  }
+}
+
+RouteStore RouteStoreBuilder::finish() {
+  store_.port_pool_.shrink_to_fit();
+  store_.switch_pool_.shrink_to_fit();
+  store_.legs_.shrink_to_fit();
+  store_.routes_.shrink_to_fit();
+  store_.table_bytes_ =
+      store_.port_pool_.size() * sizeof(PortId) +
+      store_.switch_pool_.size() * sizeof(SwitchId) +
+      store_.legs_.size() * sizeof(FlatLeg) +
+      store_.routes_.size() * sizeof(FlatRoute) +
+      store_.pairs_.size() * sizeof(PairSlot);
+  port_segments_.clear();
+  switch_segments_.clear();
+  return std::move(store_);
+}
+
+Route materialize_route(const RouteView& v) {
+  Route r;
+  r.src_switch = v.src_switch;
+  r.dst_switch = v.dst_switch;
+  r.total_switch_hops = v.total_switch_hops;
+  r.switches.assign(v.switches.begin(), v.switches.end());
+  r.legs.reserve(v.legs.size());
+  for (const LegView leg : v.legs) {
+    RouteLeg out;
+    out.ports.assign(leg.ports.begin(), leg.ports.end());
+    out.end_host = leg.end_host;
+    out.switch_hops = leg.switch_hops;
+    r.legs.push_back(std::move(out));
+  }
+  return r;
+}
+
+}  // namespace itb

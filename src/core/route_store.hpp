@@ -1,0 +1,269 @@
+// Compressed contiguous route store.
+//
+// The flat, offset-indexed representation behind RouteSet: instead of
+// `vector<vector<Route>>` with three more heap vectors per Route (legs,
+// per-leg ports, switches) — five levels of pointer-chasing per packet
+// injection — the whole table lives in five contiguous arrays:
+//
+//   port_pool_    [PortId ...]            shared, dedup'd port sequences
+//   switch_pool_  [SwitchId ...]          shared, dedup'd switch walks
+//   legs_         [FlatLeg ...]           POD: port offset/count, end_host
+//   routes_       [FlatRoute ...]         POD: leg range, switch range
+//   pairs_        [PairSlot ...]          (src,dst) -> {first_route, count}
+//
+// Identical port sequences (ubiquitous in regular topologies, where many
+// pairs reuse the same dimension-ordered sub-walks) are stored once:
+// the builder interns each leg's port sequence and each route's switch
+// walk by value, so a lookup is two indexed loads (pair slot -> route
+// record -> leg record + pool offset) over cache-friendly memory.
+//
+// The store is immutable after build.  Lookup hands out non-owning views
+// (RouteView / LegView over std::span) that mirror the member names of
+// the materialized Route/RouteLeg structs, so hot-path code reads
+// `route.legs[i].ports[h]` unchanged.  Views are trivially copyable and
+// remain valid as long as the owning store is alive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/route.hpp"
+#include "topo/types.hpp"
+
+namespace itb {
+
+/// One leg of a flat route: `port_count` ports starting at
+/// `port_off` in the port pool.  Mirrors RouteLeg.
+struct FlatLeg {
+  std::uint32_t port_off = 0;
+  std::uint16_t port_count = 0;
+  std::uint16_t switch_hops = 0;
+  HostId end_host = kNoHost;
+};
+
+/// One route: `leg_count` consecutive FlatLeg records starting at
+/// `first_leg`, plus the dedup'd switch walk.  Mirrors Route.
+struct FlatRoute {
+  SwitchId src_switch = kNoSwitch;
+  SwitchId dst_switch = kNoSwitch;
+  std::uint32_t first_leg = 0;
+  std::uint32_t switch_off = 0;
+  std::uint16_t leg_count = 0;
+  std::uint16_t switch_count = 0;
+  std::int32_t total_switch_hops = 0;
+};
+
+/// Pair index entry: the alternatives of one ordered (src,dst) switch
+/// pair are `count` consecutive FlatRoute records from `first_route`.
+struct PairSlot {
+  std::uint32_t first_route = 0;
+  std::uint32_t count = 0;
+};
+
+/// Non-owning view of one leg; mirrors RouteLeg's members.
+struct LegView {
+  std::span<const PortId> ports;
+  HostId end_host = kNoHost;
+  int switch_hops = 0;
+};
+
+/// Random-access range of LegView over a route's consecutive FlatLeg
+/// records.  Indexing constructs the ~16-byte view on the fly.
+class LegRange {
+ public:
+  LegRange() = default;
+  LegRange(const FlatLeg* legs, const PortId* port_pool, std::uint32_t count)
+      : legs_(legs), port_pool_(port_pool), count_(count) {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] LegView operator[](std::size_t i) const {
+    const FlatLeg& l = legs_[i];
+    return LegView{{port_pool_ + l.port_off, l.port_count},
+                   l.end_host,
+                   l.switch_hops};
+  }
+  [[nodiscard]] LegView front() const { return (*this)[0]; }
+  [[nodiscard]] LegView back() const { return (*this)[count_ - 1]; }
+
+  class iterator {
+   public:
+    iterator(const LegRange* r, std::size_t i) : r_(r), i_(i) {}
+    LegView operator*() const { return (*r_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const LegRange* r_;
+    std::size_t i_;
+  };
+  [[nodiscard]] iterator begin() const { return {this, 0}; }
+  [[nodiscard]] iterator end() const { return {this, count_}; }
+
+ private:
+  const FlatLeg* legs_ = nullptr;
+  const PortId* port_pool_ = nullptr;
+  std::uint32_t count_ = 0;
+};
+
+/// Non-owning view of one route; member names mirror Route so call sites
+/// (`r.total_switch_hops`, `r.legs[i].ports[h]`, `r.switches`) read the
+/// same against either representation.  Trivially copyable; Packet stores
+/// one by value.
+struct RouteView {
+  SwitchId src_switch = kNoSwitch;
+  SwitchId dst_switch = kNoSwitch;
+  LegRange legs;
+  std::span<const SwitchId> switches;
+  int total_switch_hops = 0;
+
+  [[nodiscard]] int num_itbs() const {
+    return static_cast<int>(legs.size()) - 1;
+  }
+};
+
+class RouteStore;
+
+/// The alternatives of one (src,dst) pair: a random-access range yielding
+/// RouteView by value.
+class AltsView {
+ public:
+  AltsView() = default;
+  AltsView(const RouteStore* store, std::uint32_t first, std::uint32_t count)
+      : store_(store), first_(first), count_(count) {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] RouteView operator[](std::size_t i) const;
+  [[nodiscard]] RouteView front() const { return (*this)[0]; }
+  [[nodiscard]] RouteView back() const { return (*this)[count_ - 1]; }
+
+  class iterator {
+   public:
+    iterator(const AltsView* v, std::size_t i) : v_(v), i_(i) {}
+    RouteView operator*() const { return (*v_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const AltsView* v_;
+    std::size_t i_;
+  };
+  [[nodiscard]] iterator begin() const { return {this, 0}; }
+  [[nodiscard]] iterator end() const { return {this, count_}; }
+
+ private:
+  const RouteStore* store_ = nullptr;
+  std::uint32_t first_ = 0;
+  std::uint32_t count_ = 0;
+};
+
+/// The five arrays plus build statistics.  Built once by RouteStoreBuilder
+/// (pairs appended strictly in index order, which fixes the pool layout
+/// byte-for-byte regardless of how the staging Routes were produced);
+/// immutable afterwards.
+class RouteStore {
+ public:
+  [[nodiscard]] AltsView pair(std::size_t pair_index) const {
+    const PairSlot& p = pairs_[pair_index];
+    return {this, p.first_route, p.count};
+  }
+  [[nodiscard]] RouteView route(std::size_t route_index) const {
+    const FlatRoute& r = routes_[route_index];
+    return RouteView{
+        r.src_switch,
+        r.dst_switch,
+        LegRange{legs_.data() + r.first_leg, port_pool_.data(), r.leg_count},
+        {switch_pool_.data() + r.switch_off, r.switch_count},
+        r.total_switch_hops};
+  }
+
+  [[nodiscard]] std::size_t num_pairs() const { return pairs_.size(); }
+  [[nodiscard]] std::size_t num_routes() const { return routes_.size(); }
+
+  /// Bytes held by the five arrays (the whole table; excludes the
+  /// fixed-size object header).
+  [[nodiscard]] std::uint64_t table_bytes() const { return table_bytes_; }
+  /// Leg port sequences that were dedup'd onto an already-interned
+  /// segment instead of growing the pool.
+  [[nodiscard]] std::uint64_t segments_shared() const {
+    return segments_shared_;
+  }
+  /// Wall-clock build time, stamped by the route builders.
+  [[nodiscard]] double build_ms() const { return build_ms_; }
+  void set_build_ms(double ms) { build_ms_ = ms; }
+
+  // Raw arrays, exposed for byte-identity tests and debugging.
+  [[nodiscard]] std::span<const PortId> port_pool() const {
+    return port_pool_;
+  }
+  [[nodiscard]] std::span<const SwitchId> switch_pool() const {
+    return switch_pool_;
+  }
+  [[nodiscard]] std::span<const FlatLeg> flat_legs() const { return legs_; }
+  [[nodiscard]] std::span<const FlatRoute> flat_routes() const {
+    return routes_;
+  }
+  [[nodiscard]] std::span<const PairSlot> pair_index() const {
+    return pairs_;
+  }
+
+ private:
+  friend class RouteStoreBuilder;
+
+  std::vector<PortId> port_pool_;
+  std::vector<SwitchId> switch_pool_;
+  std::vector<FlatLeg> legs_;
+  std::vector<FlatRoute> routes_;
+  std::vector<PairSlot> pairs_;
+  std::uint64_t table_bytes_ = 0;
+  std::uint64_t segments_shared_ = 0;
+  double build_ms_ = 0.0;
+};
+
+inline RouteView AltsView::operator[](std::size_t i) const {
+  return store_->route(first_ + i);
+}
+
+/// Incremental store builder.  append_pair must be called exactly once per
+/// (src,dst) pair in ascending pair-index order; the result is then a pure
+/// function of the appended Route values — bit-identical no matter how
+/// many threads staged them.
+class RouteStoreBuilder {
+ public:
+  explicit RouteStoreBuilder(std::size_t num_pairs);
+
+  void append_pair(const std::vector<Route>& alts);
+  [[nodiscard]] RouteStore finish();
+
+ private:
+  [[nodiscard]] std::uint32_t intern_ports(const std::vector<PortId>& ports);
+  [[nodiscard]] std::uint32_t intern_switches(
+      const std::vector<SwitchId>& sws);
+
+  RouteStore store_;
+  // Keys are byte copies of the sequences (not views into the growing
+  // pools, which reallocate during build).
+  std::unordered_map<std::string, std::uint32_t> port_segments_;
+  std::unordered_map<std::string, std::uint32_t> switch_segments_;
+};
+
+/// Materialize an owning Route from a view (adapter for tests / IO / the
+/// differential harness).
+[[nodiscard]] Route materialize_route(const RouteView& v);
+
+}  // namespace itb

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "harness/pool.hpp"
+#include "sim/pool.hpp"
 
 namespace itb {
 
@@ -24,7 +24,7 @@ ReplicatedResult run_replicated(const Testbed& tb, RoutingScheme scheme,
                                 RunConfig cfg, int replications, int jobs) {
   ReplicatedResult out;
   const std::uint64_t base_seed = cfg.seed;
-  if (jobs > 1 && replications > 1) tb.warm(scheme);
+  if (jobs > 1 && replications > 1) tb.warm(scheme, jobs);
   // Index-ordered slots: replication k's seed depends only on k, so which
   // worker runs it cannot change the result.
   out.runs = parallel_map<RunResult>(replications, jobs, [&](int k) {

@@ -1,6 +1,6 @@
 #include "harness/report.hpp"
 
-#include "harness/pool.hpp"
+#include "sim/pool.hpp"
 #include "harness/result_fields.hpp"
 
 #include <cstdio>

@@ -82,6 +82,14 @@ constexpr ResultField kFields[] = {
      [](const RunResult& r) { return u64(r.trace_records); }},
     {"trace_dropped", FieldType::kU64, kHost,
      [](const RunResult& r) { return u64(r.trace_dropped); }},
+    // Route-store observability: host-side like trace_records, so runs
+    // compare equal across store implementations and build modes.
+    {"route_table_bytes", FieldType::kU64, kHost,
+     [](const RunResult& r) { return u64(r.route_table_bytes); }},
+    {"route_build_ms", FieldType::kF64, kHost,
+     [](const RunResult& r) { return f64(r.route_build_ms); }},
+    {"route_segments_shared", FieldType::kU64, kHost,
+     [](const RunResult& r) { return u64(r.route_segments_shared); }},
     {"checked", FieldType::kBool, kSim,
      [](const RunResult& r) { return boolean(r.checked); }},
     {"invariant_violations", FieldType::kU64, kSim,

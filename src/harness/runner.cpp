@@ -178,6 +178,9 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
   r.events = sim.events_executed();
   r.peak_event_queue_len = sim.peak_queue_len();
   r.events_coalesced = net.chunk_events_coalesced();
+  r.route_table_bytes = routes.table_bytes();
+  r.route_build_ms = routes.build_ms();
+  r.route_segments_shared = routes.segments_shared();
   r.workspace_reuses = ws.reuses();
   r.arena_bytes_peak = net.arena_bytes_peak();
   r.heap_allocs_steady_state = net.heap_allocs_this_run();

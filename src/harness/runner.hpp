@@ -129,6 +129,13 @@ struct RunResult {
   // same_simulated_metrics must hold across exactly that pair.
   std::uint64_t trace_records = 0;  // observed, including overwritten
   std::uint64_t trace_dropped = 0;  // overwritten by ring wrap
+
+  // Route-store observability (host-side like trace_records: the table
+  // this point ran against is a property of the store implementation and
+  // of who built it first, never of the simulated outcome).
+  std::uint64_t route_table_bytes = 0;     // flat-store footprint
+  double route_build_ms = 0.0;             // wall-clock table build time
+  std::uint64_t route_segments_shared = 0; // dedup'd leg port sequences
   std::vector<PacketTraceRecord> trace;   // chronological ring snapshot
   /// Windowed time series (simulated-deterministic, compared by
   /// same_simulated_metrics when both runs sampled).

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "harness/pool.hpp"
+#include "sim/pool.hpp"
 
 namespace itb {
 
@@ -25,7 +25,7 @@ std::vector<SweepPoint> sweep_loads(const Testbed& tb, RoutingScheme scheme,
   // serial early-stop shape (keep exactly one saturated point).  Points
   // past the knee are wasted work, but the ladder is short and the win
   // from running the pre-knee points in parallel dominates.
-  tb.warm(scheme);
+  tb.warm(scheme, jobs);
   std::vector<SweepPoint> all =
       parallel_map<SweepPoint>(static_cast<int>(loads.size()), jobs, [&](int i) {
         RunConfig point_cfg = cfg;

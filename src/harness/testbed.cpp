@@ -57,18 +57,18 @@ Testbed& Testbed::operator=(Testbed&& other) noexcept {
   return *this;
 }
 
-const RouteSet& Testbed::routes(RoutingScheme s) const {
+const RouteSet& Testbed::routes_with_jobs(RoutingScheme s, int jobs) const {
   std::lock_guard<std::mutex> lock(build_mu_);
   if (s == RoutingScheme::kUpDown) {
     if (!updown_routes_) {
       const SimpleRoutes sr(*topo_, *updown_);
-      updown_routes_.emplace(build_updown_routes(*topo_, sr));
+      updown_routes_.emplace(build_updown_routes(*topo_, sr, jobs));
       updown_gen_ = ++g_table_generation;
     }
     return *updown_routes_;
   }
   if (!itb_routes_) {
-    itb_routes_.emplace(build_itb_routes(*topo_, *updown_));
+    itb_routes_.emplace(build_itb_routes(*topo_, *updown_, {}, jobs));
     itb_gen_ = ++g_table_generation;
   }
   return *itb_routes_;
@@ -80,9 +80,9 @@ std::uint64_t Testbed::table_generation(RoutingScheme s) const {
   return s == RoutingScheme::kUpDown ? updown_gen_ : itb_gen_;
 }
 
-void Testbed::warm_all() const {
-  warm(RoutingScheme::kUpDown);
-  warm(RoutingScheme::kItbSp);  // shared by all ITB schemes
+void Testbed::warm_all(int jobs) const {
+  warm(RoutingScheme::kUpDown, jobs);
+  warm(RoutingScheme::kItbSp, jobs);  // shared by all ITB schemes
 }
 
 }  // namespace itb

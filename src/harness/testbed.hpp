@@ -52,15 +52,23 @@ class Testbed {
   [[nodiscard]] const UpDown& updown() const { return *updown_; }
 
   /// Routing table for a scheme (built on first use, then cached).  All ITB
-  /// schemes share one table and differ only in path policy.
-  [[nodiscard]] const RouteSet& routes(RoutingScheme s) const;
+  /// schemes share one table and differ only in path policy.  A cold call
+  /// builds serially — safe from pool workers (the row-parallel build must
+  /// not nest inside a pooled job; see sim/pool.hpp).
+  [[nodiscard]] const RouteSet& routes(RoutingScheme s) const {
+    return routes_with_jobs(s, 1);
+  }
 
   /// Pre-build the table for `s` (idempotent).  Parallel drivers warm the
-  /// schemes they will run before fan-out so workers only ever read.
-  void warm(RoutingScheme s) const { (void)routes(s); }
+  /// schemes they will run before fan-out so workers only ever read;
+  /// because warm() runs on the main thread, it may fan the row build out
+  /// across `jobs` workers (bit-identical to the serial build).
+  void warm(RoutingScheme s, int jobs = 1) const {
+    (void)routes_with_jobs(s, jobs);
+  }
 
   /// Pre-build both tables (up*/down* and the shared ITB table).
-  void warm_all() const;
+  void warm_all(int jobs = 1) const;
 
   /// Process-unique, monotonically assigned id of the table `routes(s)`
   /// returns (building it if needed).  Unlike the table's address, a
@@ -70,6 +78,9 @@ class Testbed {
   [[nodiscard]] std::uint64_t table_generation(RoutingScheme s) const;
 
  private:
+  [[nodiscard]] const RouteSet& routes_with_jobs(RoutingScheme s,
+                                                 int jobs) const;
+
   std::unique_ptr<Topology> topo_;
   std::unique_ptr<UpDown> updown_;
   mutable std::mutex build_mu_;

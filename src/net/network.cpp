@@ -232,13 +232,13 @@ void Network::inject(HostId src, HostId dst, int payload_bytes) {
 
   const SwitchId ssw = topo_->host(src).sw;
   const SwitchId dsw = topo_->host(dst).sw;
-  const auto& alts = routes_->alternatives(ssw, dsw);
+  const AltsView alts = routes_->alternatives(ssw, dsw);
   assert(!alts.empty());
   Nic& n = nic(src);
   p->alt_index = n.selector.pick(dsw, static_cast<int>(alts.size()));
-  p->route = &alts[idx(p->alt_index)];
+  p->route = alts[idx(p->alt_index)];
   p->delivery_port = topo_->host(dst).port;
-  p->leg_wire_flits = leg_start_wire_flits(*p->route, 0, p->payload_flits,
+  p->leg_wire_flits = leg_start_wire_flits(p->route, 0, p->payload_flits,
                                            params_.type_bytes);
   ++injected_;
   n.source_queue.push_back(p);
@@ -282,7 +282,7 @@ void Network::nic_try_start(HostId h) {
     // The leg being re-injected is p->current_leg *right now*; the ejection
     // that feeds it happened at the previous leg's end host.
     c.flow_eject_host =
-        p->route->legs[idx(p->current_leg - 1)].end_host;
+        p->route.legs[idx(p->current_leg - 1)].end_host;
   } else {
     c.flow_eject_host = kNoHost;
     p->inject_time = sim_->now();
@@ -699,12 +699,12 @@ void Network::nic_header_arrived(ChannelId in_ch, BufferEntry& entry) {
 }
 
 void Network::itb_ready(Packet* p) {
-  const RouteLeg& leg = p->route->legs[idx(p->current_leg)];
+  const LegView leg = p->route.legs[idx(p->current_leg)];
   const HostId host = leg.end_host;
   assert(host != kNoHost);
   p->current_leg += 1;
   p->hop_in_leg = 0;
-  p->leg_wire_flits = leg_start_wire_flits(*p->route, p->current_leg,
+  p->leg_wire_flits = leg_start_wire_flits(p->route, p->current_leg,
                                            p->payload_flits,
                                            params_.type_bytes);
   emit_event(p, PacketEvent::kReinjectionReady, kNoSwitch, host);
@@ -737,12 +737,12 @@ void Network::deliver(ChannelId in_ch, BufferEntry& entry) {
     ScopedPhase phase(prof_, Phase::kMetrics);
     on_delivery_(DeliveryRecord{p->src, p->dst, p->payload_flits, p->gen_time,
                                 p->inject_time, p->deliver_time, p->itbs_used,
-                                p->alt_index, p->route->total_switch_hops,
+                                p->alt_index, p->route.total_switch_hops,
                                 p->spilled_to_host_memory});
   }
   // Close the adaptive-policy loop: the source learns the network latency
   // of the alternative it picked (models an acknowledgment path).
-  nic(p->src).selector.feedback(p->route->dst_switch, p->alt_index,
+  nic(p->src).selector.feedback(p->route.dst_switch, p->alt_index,
                                 p->deliver_time - p->inject_time);
 
   c.occupancy -= entry.total_flits;

@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "core/route.hpp"
+#include "core/route_store.hpp"
 #include "sim/time.hpp"
 #include "topo/types.hpp"
 
@@ -15,10 +15,12 @@ struct Packet {
   HostId dst = kNoHost;
   int payload_flits = 0;
 
-  /// Route chosen at the source NIC and progress along it.
-  const Route* route = nullptr;
+  /// Route chosen at the source NIC and progress along it.  The view is a
+  /// trivially copyable window into the owning RouteSet's flat store —
+  /// two indexed loads per header byte, no pointer-chasing.
+  RouteView route;
   int alt_index = 0;     // which alternative the path policy picked
-  int current_leg = 0;   // index into route->legs
+  int current_leg = 0;   // index into route.legs
   int hop_in_leg = 0;    // header ports consumed within the current leg
   PortId delivery_port = kNoPort;  // port of the destination switch to dst
 
@@ -41,7 +43,7 @@ struct Packet {
 
   /// Output port the *next* switch visit must use; advances hop_in_leg.
   [[nodiscard]] PortId next_port() {
-    const RouteLeg& leg = route->legs[static_cast<std::size_t>(current_leg)];
+    const LegView leg = route.legs[static_cast<std::size_t>(current_leg)];
     const int consumed = hop_in_leg++;
     if (consumed < static_cast<int>(leg.ports.size())) {
       return leg.ports[static_cast<std::size_t>(consumed)];
@@ -51,15 +53,15 @@ struct Packet {
   }
 
   [[nodiscard]] bool on_final_leg() const {
-    return current_leg + 1 == static_cast<int>(route->legs.size());
+    return current_leg + 1 == static_cast<int>(route.legs.size());
   }
 };
 
 /// Wire length (flits) of leg `leg_index` at the moment it is (re)injected:
 /// payload + type byte(s) + all remaining header port bytes + the remaining
 /// ITB mark bytes.  The delivery port byte of the final leg is included.
-[[nodiscard]] inline int leg_start_wire_flits(const Route& r, int leg_index,
-                                              int payload_flits,
+[[nodiscard]] inline int leg_start_wire_flits(const RouteView& r,
+                                              int leg_index, int payload_flits,
                                               int type_bytes) {
   int ports = 0;
   const int legs = static_cast<int>(r.legs.size());

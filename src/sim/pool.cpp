@@ -1,4 +1,4 @@
-#include "harness/pool.hpp"
+#include "sim/pool.hpp"
 
 #include <atomic>
 #include <cstdlib>

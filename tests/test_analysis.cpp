@@ -38,7 +38,7 @@ void check_pair(const Topology& topo, const RouteSet& routes, HostId src,
   net.inject(src, dst, payload);
   sim.run_until(ms(5));
   ASSERT_EQ(cap.records.size(), 1u) << src << "->" << dst;
-  const Route& route =
+  const RouteView route =
       routes.alternatives(topo.host(src).sw, topo.host(dst).sw).front();
   const TimePs predicted = zero_load_latency(topo, route, payload, params);
   EXPECT_EQ(cap.records[0].deliver_time - cap.records[0].inject_time,

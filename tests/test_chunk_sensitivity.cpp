@@ -86,7 +86,7 @@ TEST(ChunkSensitivity, ZeroLoadModelBoundsChunkError) {
     net.inject(0, 27, 512);
     sim.run_until(ms(2));
     ASSERT_GT(measured, 0);
-    const Route& route =
+    const RouteView route =
         routes.alternatives(topo.host(0).sw, topo.host(27).sw).front();
     MyrinetParams exact_params;  // model is chunk-agnostic
     const TimePs predicted =

@@ -81,7 +81,7 @@ TEST(DeadlockWatchdog, CyclicRoutesOnRingAreCaughtWithTheExactCycle) {
   t.connect_auto(3, 0);
   for (SwitchId s = 0; s < 4; ++s) t.attach_hosts(s, 1);
 
-  RouteSet routes(4, RoutingAlgorithm::kUpDown);
+  NestedRouteTable staged(4, RoutingAlgorithm::kUpDown);
   for (SwitchId s = 0; s < 4; ++s) {
     const SwitchId via = (s + 1) % 4;
     const SwitchId d = (s + 2) % 4;
@@ -94,8 +94,9 @@ TEST(DeadlockWatchdog, CyclicRoutesOnRingAreCaughtWithTheExactCycle) {
     leg.ports = {port_to(t, s, via), port_to(t, via, d)};
     leg.switch_hops = 2;
     r.legs.push_back(leg);
-    routes.mutable_alternatives(s, d).push_back(r);
+    staged.mutable_alternatives(s, d).push_back(r);
   }
+  const RouteSet routes(staged);
 
   MyrinetParams p;
   Simulator sim;

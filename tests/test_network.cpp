@@ -56,18 +56,24 @@ TEST(WireFormat, LegStartWireFlits) {
   // Two-leg route: leg0 has 2 ports (1 hop + ITB host port), leg1 has 1
   // port plus the appended delivery port.
   Route r;
+  r.src_switch = 0;
+  r.dst_switch = 0;
   r.legs.resize(2);
   r.legs[0].ports = {PortId{1}, PortId{4}};
   r.legs[0].end_host = 9;
   r.legs[1].ports = {PortId{2}};
+  NestedRouteTable staged(1, RoutingAlgorithm::kItb);
+  staged.mutable_alternatives(0, 0).push_back(r);
+  const RouteSet rs(staged);
+  const RouteView v = rs.view(0, 0, 0);
   // Leg 0: payload + type + (2 + 1 + 1 delivery) ports + 1 mark.
-  EXPECT_EQ(leg_start_wire_flits(r, 0, 512, 1), 512 + 1 + 4 + 1);
+  EXPECT_EQ(leg_start_wire_flits(v, 0, 512, 1), 512 + 1 + 4 + 1);
   // Leg 1: payload + type + (1 + 1 delivery) ports, no marks left.
-  EXPECT_EQ(leg_start_wire_flits(r, 1, 512, 1), 512 + 1 + 2);
+  EXPECT_EQ(leg_start_wire_flits(v, 1, 512, 1), 512 + 1 + 2);
   // Consistency: arrival length after leg 0 (start - ports consumed)
   // minus the mark byte equals leg 1's start length.
-  const int arrival0 = leg_start_wire_flits(r, 0, 512, 1) - 2;
-  EXPECT_EQ(arrival0 - 1, leg_start_wire_flits(r, 1, 512, 1));
+  const int arrival0 = leg_start_wire_flits(v, 0, 512, 1) - 2;
+  EXPECT_EQ(arrival0 - 1, leg_start_wire_flits(v, 1, 512, 1));
 }
 
 TEST(NetworkZeroLoad, SameSwitchDeliveryExact) {

@@ -11,7 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
-#include "harness/pool.hpp"
+#include "sim/pool.hpp"
 #include "harness/replicate.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"

@@ -49,6 +49,9 @@ RunResult distinctive_result() {
   r.heap_allocs_steady_state = 110;
   r.trace_records = 111;
   r.trace_dropped = 112;
+  r.route_table_bytes = 114;
+  r.route_build_ms = 11.25;
+  r.route_segments_shared = 115;
   r.checked = false;
   r.invariant_violations = 113;
   return r;
@@ -156,6 +159,9 @@ TEST(ResultFields, DeterminismComparisonUsesTheRegistryClasses) {
   b.workspace_reuses += 5;
   b.trace_records += 7;
   b.trace_dropped += 7;
+  b.route_table_bytes += 11;
+  b.route_build_ms += 0.5;
+  b.route_segments_shared += 3;
   EXPECT_TRUE(same_simulated_metrics(a, b));
 
   // …while any simulated scalar difference must.
@@ -174,7 +180,7 @@ TEST(ResultFields, RegistryCoversEveryRunResultScalar) {
   // Drift guard: adding a scalar to RunResult without registering it (or
   // registering without adding) trips this count.  Update BOTH together —
   // result_fields.cpp is the single source the emitters iterate.
-  EXPECT_EQ(result_fields().size(), 25u);
+  EXPECT_EQ(result_fields().size(), 28u);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 // be flagged.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -86,13 +87,16 @@ TEST(RouteProperties, AlternativesCappedAndDistinct) {
   for (SwitchId s = 0; s < n; ++s) {
     for (SwitchId d = 0; d < n; ++d) {
       if (s == d) continue;
-      const auto& alts = routes.alternatives(s, d);
+      const AltsView alts = routes.alternatives(s, d);
       ASSERT_FALSE(alts.empty());
       EXPECT_LE(alts.size(), 10u);
       for (std::size_t i = 0; i < alts.size(); ++i) {
         for (std::size_t j = i + 1; j < alts.size(); ++j) {
-          EXPECT_FALSE(alts[i].switches == alts[j].switches &&
-                       alts[i].legs.size() == alts[j].legs.size())
+          const RouteView a = alts[i];
+          const RouteView b = alts[j];
+          EXPECT_FALSE(std::equal(a.switches.begin(), a.switches.end(),
+                                  b.switches.begin(), b.switches.end()) &&
+                       a.legs.size() == b.legs.size())
               << "pair " << s << "->" << d << " alternatives " << i << "/"
               << j << " identical";
         }
@@ -105,25 +109,20 @@ TEST(RouteProperties, AlternativesCappedAndDistinct) {
 
 Testbed small_testbed() { return Testbed(make_torus_2d(4, 4, 2)); }
 
-RouteSet copy_itb_table(const Testbed& tb) {
-  const RouteSet& src = tb.routes(RoutingScheme::kItbSp);
-  RouteSet copy(src.num_switches(), RoutingAlgorithm::kItb);
-  for (SwitchId s = 0; s < src.num_switches(); ++s) {
-    for (SwitchId d = 0; d < src.num_switches(); ++d) {
-      copy.mutable_alternatives(s, d) = src.alternatives(s, d);
-    }
-  }
-  return copy;
+// Mutation fixtures inflate the immutable store back into a nested table,
+// corrupt it, and re-compress for verification.
+NestedRouteTable copy_itb_table(const Testbed& tb) {
+  return tb.routes(RoutingScheme::kItbSp).materialize_nested();
 }
 
-std::uint64_t verify_count(const Testbed& tb, const RouteSet& routes) {
-  return verify_route_set(tb.topo(), tb.updown(), routes)
+std::uint64_t verify_count(const Testbed& tb, const NestedRouteTable& routes) {
+  return verify_route_set(tb.topo(), tb.updown(), RouteSet(routes))
       .violations.size();
 }
 
 TEST(RouteVerifierNegative, DetectsMissingItbSplit) {
   const Testbed tb = small_testbed();
-  RouteSet routes = copy_itb_table(tb);
+  NestedRouteTable routes = copy_itb_table(tb);
   ASSERT_EQ(verify_count(tb, routes), 0u);
   // Find a split route and fuse its legs into one illegal leg (the
   // down->up path an ITB was supposed to break).
@@ -155,7 +154,7 @@ TEST(RouteVerifierNegative, DetectsMissingItbSplit) {
 
 TEST(RouteVerifierNegative, DetectsCorruptPortWalk) {
   const Testbed tb = small_testbed();
-  RouteSet routes = copy_itb_table(tb);
+  NestedRouteTable routes = copy_itb_table(tb);
   // Point the first port byte of some multi-hop route at a host port: the
   // walk no longer reaches a switch.
   for (SwitchId s = 0; s < routes.num_switches(); ++s) {
@@ -173,14 +172,15 @@ TEST(RouteVerifierNegative, DetectsCorruptPortWalk) {
 
 TEST(RouteVerifierNegative, DetectsDuplicateAndOverCapAlternatives) {
   const Testbed tb = small_testbed();
-  RouteSet routes = copy_itb_table(tb);
+  NestedRouteTable routes = copy_itb_table(tb);
   auto& alts = routes.mutable_alternatives(0, 5);
   ASSERT_FALSE(alts.empty());
   alts.push_back(alts.front());  // duplicate
   EXPECT_GT(verify_count(tb, routes), 0u);
   while (alts.size() <= 10) alts.push_back(alts.front());
   RouteVerifyOptions opts;
-  const auto rep = verify_route_set(tb.topo(), tb.updown(), routes, opts);
+  const auto rep =
+      verify_route_set(tb.topo(), tb.updown(), RouteSet(routes), opts);
   bool over_cap = false;
   for (const auto& v : rep.violations) {
     if (v.detail.find("cap is") != std::string::npos) over_cap = true;
@@ -202,8 +202,8 @@ TEST(RouteVerifierNegative, DetectsNonMinimalPath) {
   t.connect_auto(3, 4);
   for (SwitchId s = 0; s < 5; ++s) t.attach_hosts(s, 2);
   const Testbed tb(std::move(t));
-  RouteSet routes = copy_itb_table(tb);
-  const Route& detour = tb.routes(RoutingScheme::kUpDown).alternatives(3, 2)[0];
+  NestedRouteTable routes = copy_itb_table(tb);
+  const Route detour = tb.routes(RoutingScheme::kUpDown).materialize(3, 2, 0);
   ASSERT_EQ(detour.total_switch_hops, 3);
   auto& alts = routes.mutable_alternatives(3, 2);
   ASSERT_EQ(alts[0].total_switch_hops, 2);
@@ -212,10 +212,11 @@ TEST(RouteVerifierNegative, DetectsNonMinimalPath) {
   // Strict mode must flag it; fallback mode accepts exactly this shape
   // (single legal alternative at legal distance), documenting the
   // build_itb_routes escape hatch for pairs with no usable minimal path.
+  const RouteSet flat(routes);
   RouteVerifyOptions strict;
   strict.allow_legal_fallback = false;
-  EXPECT_FALSE(verify_route_set(tb.topo(), tb.updown(), routes, strict).ok());
-  EXPECT_TRUE(verify_route_set(tb.topo(), tb.updown(), routes).ok());
+  EXPECT_FALSE(verify_route_set(tb.topo(), tb.updown(), flat, strict).ok());
+  EXPECT_TRUE(verify_route_set(tb.topo(), tb.updown(), flat).ok());
 }
 
 }  // namespace

@@ -217,11 +217,12 @@ TEST(ItbSplit, SplitCountIsMinimalForThePath) {
 
 // Follow a Route's ports hop by hop through the topology and check they
 // form a real walk ending at the right hosts.
-void check_route_walk(const Topology& t, const Route& r, SwitchId src_sw) {
+void check_route_walk(const Topology& t, const RouteView& r,
+                      SwitchId src_sw) {
   SwitchId at = src_sw;
   std::vector<SwitchId> visited{at};
   for (std::size_t li = 0; li < r.legs.size(); ++li) {
-    const RouteLeg& leg = r.legs[li];
+    const LegView leg = r.legs[li];
     const bool final_leg = li + 1 == r.legs.size();
     for (std::size_t pi = 0; pi < leg.ports.size(); ++pi) {
       const PortPeer& peer = t.peer(at, leg.ports[pi]);
@@ -238,7 +239,8 @@ void check_route_walk(const Topology& t, const Route& r, SwitchId src_sw) {
     }
   }
   EXPECT_EQ(at, r.dst_switch);
-  EXPECT_EQ(visited, r.switches);
+  EXPECT_EQ(visited,
+            std::vector<SwitchId>(r.switches.begin(), r.switches.end()));
 }
 
 TEST(RouteBuilder, UpdownRoutesWalkTheTopology) {
@@ -268,7 +270,7 @@ TEST(RouteBuilder, ItbRoutesAreMinimalAndWalk) {
       const auto& alts = rs.alternatives(s, d);
       ASSERT_FALSE(alts.empty());
       ASSERT_LE(alts.size(), 10u);
-      for (const Route& r : alts) {
+      for (const RouteView r : alts) {
         EXPECT_EQ(r.total_switch_hops, dist[uz(s) * 16 + uz(d)]);
         EXPECT_EQ(static_cast<int>(r.legs.size()), r.num_itbs() + 1);
         check_route_walk(t, r, s);
@@ -300,7 +302,7 @@ TEST(RouteBuilder, ItbHostsSpreadAcrossSwitchHosts) {
   std::set<HostId> used;
   for (SwitchId s = 0; s < 64; ++s) {
     for (SwitchId d = 0; d < 64; ++d) {
-      for (const Route& r : rs.alternatives(s, d)) {
+      for (const RouteView r : rs.alternatives(s, d)) {
         for (std::size_t li = 0; li + 1 < r.legs.size(); ++li) {
           used.insert(r.legs[li].end_host);
         }
@@ -338,7 +340,7 @@ TEST(RouteBuilder, SplitSwitchWithoutHostsFallsBackToLegal) {
   const RouteSet rs = build_itb_routes(t, ud);
   const auto& alts = rs.alternatives(1, 2);
   ASSERT_FALSE(alts.empty());
-  for (const Route& r : alts) {
+  for (const RouteView r : alts) {
     EXPECT_EQ(r.num_itbs(), 0) << "infeasible split candidates must be dropped";
   }
 }
@@ -376,7 +378,7 @@ TEST_P(RouteBuilderRandom, ItbTableValidOnRandomIrregular) {
     for (SwitchId d = 0; d < t.num_switches(); ++d) {
       const auto& alts = rs.alternatives(s, d);
       ASSERT_FALSE(alts.empty());
-      for (const Route& r : alts) check_route_walk(t, r, s);
+      for (const RouteView r : alts) check_route_walk(t, r, s);
     }
   }
 }

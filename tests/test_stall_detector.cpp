@@ -31,7 +31,7 @@ Topology make_ring4() {
 // counter-clockwise path is shorter.  The 3-hop routes create the cyclic
 // channel dependency 0->1->2->3->0.
 RouteSet make_cyclic_routes(const Topology& t) {
-  RouteSet rs(4, RoutingAlgorithm::kUpDown);
+  NestedRouteTable nested(4, RoutingAlgorithm::kUpDown);
   auto clockwise_port = [&](SwitchId from) {
     const SwitchId next = (from + 1) % 4;
     for (const PortId p : t.switch_ports_of(from)) {
@@ -54,10 +54,10 @@ RouteSet make_cyclic_routes(const Topology& t) {
       }
       r.total_switch_hops = leg.switch_hops;
       r.legs.push_back(std::move(leg));
-      rs.mutable_alternatives(s, d).push_back(std::move(r));
+      nested.mutable_alternatives(s, d).push_back(std::move(r));
     }
   }
-  return rs;
+  return RouteSet(nested);
 }
 
 TEST(StallDetector, QuietOnHealthyTraffic) {

@@ -24,7 +24,7 @@
 #include "obs/perfetto.hpp"
 #include "obs/samplers.hpp"
 #include "sim/workspace.hpp"
-#include "harness/pool.hpp"
+#include "sim/pool.hpp"
 #include "harness/replicate.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"

@@ -82,6 +82,12 @@ EFFICIENCY_FLOOR = 0.9
 # pointers) may sit at most this fraction below the committed baseline.
 TRACING_OVERHEAD_BUDGET = 0.02
 
+# Budget for the compressed route store's end-to-end cost: the flat-store
+# POD rate may sit at most this fraction below the baseline's (which for
+# pre-flat-store baselines is the nested-table rate, making this the
+# nested-vs-flat e2e A/B across records).
+ROUTE_STORE_E2E_BUDGET = 0.02
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
@@ -145,6 +151,33 @@ def main():
         if tele_off and rate:
             print(f"  telemetry {label}: {rate:.3g} events/s "
                   f"({(1.0 - rate / tele_off) * 100.0:+.1f}% vs disabled)")
+
+    # Route-store smoke: the flat store's end-to-end rate against the
+    # baseline pod rate (a nested-era baseline makes this the nested-vs-flat
+    # comparison), plus the fresh record's build/memory numbers.
+    route = fresh_record.get("micro_kernel", {}).get("route_store", {})
+    flat_e2e = route.get("flat_e2e_events_per_sec")
+    if base_pod and flat_e2e:
+        overhead = 1.0 - flat_e2e / base_pod
+        print(f"  route-store e2e vs baseline: {overhead * 100.0:+.1f}% "
+              f"(budget {ROUTE_STORE_E2E_BUDGET * 100.0:.0f}%)")
+        if overhead > ROUTE_STORE_E2E_BUDGET:
+            regressions += 1
+            print(f"::warning title=perf-smoke::flat route-store end-to-end "
+                  f"rate {overhead * 100.0:.1f}% below baseline (budget "
+                  f"{ROUTE_STORE_E2E_BUDGET * 100.0:.0f}%)")
+    if route:
+        shrink = route.get("table_shrink")
+        speedup = route.get("parallel_build_speedup")
+        if shrink is not None:
+            print(f"  route-store table shrink vs nested: {shrink:.2f}x")
+        if speedup is not None:
+            print(f"  route-store parallel build speedup "
+                  f"(jobs={route.get('parallel_jobs', '?')}): {speedup:.2f}x")
+        if route.get("parallel_bit_identical") is False:
+            regressions += 1
+            print("::warning title=perf-smoke::parallel route build is NOT "
+                  "bit-identical to the serial build")
 
     # Parallel-efficiency smoke: the workspace layer's headline number.
     base_eff = parallel_efficiency(baseline_record)

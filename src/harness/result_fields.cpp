@@ -72,6 +72,21 @@ constexpr ResultField kFields[] = {
      [](const RunResult& r) { return u64(r.peak_event_queue_len); }},
     {"events_coalesced", FieldType::kU64, kSim,
      [](const RunResult& r) { return u64(r.events_coalesced); }},
+    // Parallel-engine observability: kHost because they describe how the
+    // point was executed (lane count, barrier windows, mailbox traffic),
+    // not what it simulated — a sharded run must equal the serial run on
+    // every kSim row above, which is exactly what test_parallel_engine
+    // asserts.
+    {"shards", FieldType::kU64, kHost,
+     [](const RunResult& r) { return u64(r.shards); }},
+    {"window_ns", FieldType::kF64, kHost,
+     [](const RunResult& r) { return f64(r.window_ns); }},
+    {"windows_executed", FieldType::kU64, kHost,
+     [](const RunResult& r) { return u64(r.windows_executed); }},
+    {"boundary_events", FieldType::kU64, kHost,
+     [](const RunResult& r) { return u64(r.boundary_events); }},
+    {"boundary_ties", FieldType::kU64, kHost,
+     [](const RunResult& r) { return u64(r.boundary_ties); }},
     {"workspace_reuses", FieldType::kU64, kHost,
      [](const RunResult& r) { return u64(r.workspace_reuses); }},
     {"arena_bytes_peak", FieldType::kU64, kHost,

@@ -59,12 +59,47 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
                        const RunConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
   const RouteSet& routes = tb.routes(scheme);
-  ws.prepare(cfg.engine, tb.topo(), routes, cfg.params, policy_of(scheme),
-             cfg.seed ^ 0x9e37u);
+  // Serial fallback for runs that need serial-only machinery: the packet
+  // tracer and phase profiler write one shared buffer from every handler,
+  // and the adaptive selector feeds delivered-latency back into route
+  // choice — all three are inherently single-threaded.  RunResult::shards
+  // reports what actually ran.
+  EngineKind engine = cfg.engine;
+  if (engine == EngineKind::kPodParallel &&
+      (cfg.trace || cfg.profile ||
+       policy_of(scheme) == PathPolicy::kAdaptive)) {
+    engine = EngineKind::kPod;
+  }
+  ws.prepare(engine, tb.topo(), routes, cfg.params, policy_of(scheme),
+             cfg.seed ^ 0x9e37u, cfg.shards);
   Simulator& sim = ws.sim();
   Network& net = ws.net();
   MetricsCollector& metrics = ws.metrics();
   metrics.attach(net);
+  const bool par = ws.parallel();
+  ParallelEngine& eng = ws.engine();
+
+  // One step of simulated time, engine-agnostic.  Sharded: run the lanes'
+  // window protocol to t, let the coordinator clock (watchdog ticks) catch
+  // up, then merge the lanes' buffered deliveries into the metrics stream —
+  // every observer below reads at these sync points only.
+  const auto advance = [&](TimePs t) {
+    if (par) {
+      eng.run_until(t);
+      sim.run_until(t);
+      net.flush_deliveries();
+    } else {
+      sim.run_until(t);
+    }
+  };
+  const auto engine_counters = [&] {
+    EngineCounters c{sim.events_executed(), sim.queue_len()};
+    if (par) {
+      c.events_executed += eng.events_executed();
+      c.queue_len += eng.queue_len();
+    }
+    return c;
+  };
 
   // Telemetry attachments: the workspace owns the buffers (so their storage
   // survives reuse); the network only sees non-null pointers when this run
@@ -96,7 +131,7 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
 
   {
     ScopedPhase phase(prof, Phase::kWarmup);
-    sim.run_until(cfg.warmup);
+    advance(cfg.warmup);
   }
   metrics.reset_window(sim.now());
   net.reset_channel_stats();
@@ -111,17 +146,21 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
       // Slice the window at sample boundaries.  run_until executes events
       // by their own timestamps and pins the clock to each boundary, so
       // the sliced run is event-for-event identical to the single
-      // run_until below — sampling never perturbs the simulation.
-      sampler.begin(sim.now(), cfg.sample_link_util, sim, net, metrics);
+      // run_until below — sampling never perturbs the simulation.  (The
+      // sharded engine re-anchors its window grid at each boundary, which
+      // changes how work packs into barrier windows but never the per-lane
+      // (time, key) event order, so the same holds there.)
+      sampler.begin(sim.now(), cfg.sample_link_util, engine_counters(), net,
+                    metrics);
       for (TimePs b = cfg.warmup + cfg.sample_period; b < window_end;
            b += cfg.sample_period) {
-        sim.run_until(b);
-        sampler.sample(sim.now(), sim, net, metrics);
+        advance(b);
+        sampler.sample(sim.now(), engine_counters(), net, metrics);
       }
-      sim.run_until(window_end);
-      sampler.sample(sim.now(), sim, net, metrics);
+      advance(window_end);
+      sampler.sample(sim.now(), engine_counters(), net, metrics);
     } else {
-      sim.run_until(window_end);
+      advance(window_end);
     }
   }
   const TimePs window = sim.now() - cfg.warmup;
@@ -164,11 +203,13 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
   // are still in flight, so not quiescent), the simulator's causality
   // ledger, then everything the ledgers/checkers recorded during the run.
   net.audit_invariants(/*quiescent=*/false);
-  if (sim.causality_violations() > 0) {
+  const std::uint64_t causality =
+      sim.causality_violations() + (par ? eng.causality_violations() : 0);
+  if (causality > 0) {
     net.invariants().record(
         InvariantKind::kCausality, sim.now(),
-        static_cast<std::int64_t>(sim.causality_violations()),
-        std::to_string(sim.causality_violations()) +
+        static_cast<std::int64_t>(causality),
+        std::to_string(causality) +
             " event(s) executed before the simulator clock");
   }
   r.checked = cfg.checked;
@@ -177,6 +218,18 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
 
   r.events = sim.events_executed();
   r.peak_event_queue_len = sim.peak_queue_len();
+  if (par) {
+    // Lane events + coordinator events reproduce the serial total exactly
+    // (every serial event executes on exactly one lane or the coordinator);
+    // summed per-lane peaks only bound the serial high-water mark.
+    r.events += eng.events_executed();
+    r.peak_event_queue_len += eng.peak_queue_len();
+    r.shards = static_cast<std::uint64_t>(eng.lanes());
+    r.window_ns = to_ns(eng.plan().lookahead);
+    r.windows_executed = eng.windows_executed();
+    r.boundary_events = eng.boundary_events();
+    r.boundary_ties = eng.order_ties() + net.delivery_ties();
+  }
   r.events_coalesced = net.chunk_events_coalesced();
   r.route_table_bytes = routes.table_bytes();
   r.route_build_ms = routes.build_ms();

@@ -48,7 +48,15 @@ struct RunConfig {
   bool collect_link_util = false;
   /// Event engine for this point (A/B benchmarking and the golden
   /// cross-engine determinism tests; normally leave the default).
+  /// kPodParallel shards one simulation across `shards` worker threads with
+  /// the conservative window engine (sim/parallel_engine.hpp) and produces
+  /// identical simulated metrics to kPod.  Runs that need serial-only
+  /// machinery (packet tracing, the adaptive path selector's feedback loop)
+  /// fall back to kPod; RunResult::shards reports what actually ran.
   EngineKind engine = kDefaultEngine;
+  /// Worker-lane count for kPodParallel (clamped to the topology's switch
+  /// count and the engine's lane cap; ignored by the serial engines).
+  int shards = 1;
   /// Checked-simulation mode: verify the scheme's routing table (legality,
   /// minimality, split placement) before the run and sample a wait-graph
   /// deadlock watchdog during it.  Honoured in every build; the
@@ -111,6 +119,21 @@ struct RunResult {
   double events_per_sec = 0.0;
   std::uint64_t peak_event_queue_len = 0;  // pending-event high-water mark
   std::uint64_t events_coalesced = 0;      // chunk arrivals elided (POD)
+
+  // Parallel-engine observability (host-side: how the point was executed,
+  // never what it simulated — a K-sharded run matches the serial run on
+  // every kSimulated field above, except peak_event_queue_len, which in a
+  // sharded run is a sum of per-lane peaks and additionally depends on the
+  // barrier-window grid (sample slicing re-anchors it); see
+  // tests/test_parallel_engine.cpp).  All zero for serial points.
+  std::uint64_t shards = 0;            // lanes that executed this point
+  double window_ns = 0.0;              // conservative lookahead window
+  std::uint64_t windows_executed = 0;  // barrier windows run
+  std::uint64_t boundary_events = 0;   // cross-lane mailbox messages
+  /// Same-picosecond event pairs whose relative order the shard key left to
+  /// the merge (cross-lane pushes at one instant) plus cross-lane delivery
+  /// ties at flush.  Zero means the run was order-deterministic end to end.
+  std::uint64_t boundary_ties = 0;
 
   // Allocation observability (host-side, excluded from determinism
   // comparisons: a reused workspace legitimately reports different values

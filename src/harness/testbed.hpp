@@ -18,6 +18,7 @@
 #include "core/route_set.hpp"
 #include "route/simple_routes.hpp"
 #include "route/updown.hpp"
+#include "sim/pool.hpp"
 #include "topo/topology.hpp"
 
 namespace itb {
@@ -53,10 +54,13 @@ class Testbed {
 
   /// Routing table for a scheme (built on first use, then cached).  All ITB
   /// schemes share one table and differ only in path policy.  A cold call
-  /// builds serially — safe from pool workers (the row-parallel build must
-  /// not nest inside a pooled job; see sim/pool.hpp).
+  /// fans the row build out across default_jobs() workers; when the caller
+  /// is itself a pool worker the build runs inline on it instead
+  /// (pooled_for is re-entrancy-guarded; see sim/pool.hpp), so the old
+  /// cold-from-a-worker serial penalty is gone without risking a nested
+  /// fan-out.
   [[nodiscard]] const RouteSet& routes(RoutingScheme s) const {
-    return routes_with_jobs(s, 1);
+    return routes_with_jobs(s, default_jobs());
   }
 
   /// Pre-build the table for `s` (idempotent).  Parallel drivers warm the

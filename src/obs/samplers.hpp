@@ -48,6 +48,15 @@ struct TimeSeriesSample {
   std::vector<float> link_util;
 };
 
+/// Engine-level counters a sample reads.  The serial overloads fill this
+/// from one Simulator; sharded runs pass lane-aggregated totals (lanes +
+/// coordinator + undrained mailbox messages) so the windowed event series
+/// still re-aggregates to RunResult::events.
+struct EngineCounters {
+  std::uint64_t events_executed = 0;
+  std::uint64_t queue_len = 0;
+};
+
 /// Captures windowed samples from the live component stack.  begin() at the
 /// start of the measurement window, then sample() at each window boundary.
 class TimeSeriesSampler {
@@ -58,9 +67,13 @@ class TimeSeriesSampler {
   /// per-channel busy fractions each window.
   void begin(TimePs now, bool link_util, const Simulator& sim,
              const Network& net, const MetricsCollector& metrics);
+  void begin(TimePs now, bool link_util, EngineCounters eng,
+             const Network& net, const MetricsCollector& metrics);
 
   /// Close the current window at simulated time `now` and append a sample.
   void sample(TimePs now, const Simulator& sim, const Network& net,
+              const MetricsCollector& metrics);
+  void sample(TimePs now, EngineCounters eng, const Network& net,
               const MetricsCollector& metrics);
 
   [[nodiscard]] const std::vector<TimeSeriesSample>& samples() const {

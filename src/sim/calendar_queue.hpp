@@ -43,17 +43,18 @@ class CalendarQueue {
   /// timestamps pop in push order.
   void push(TimePs at, EventKind kind, std::int32_t ch, std::int32_t a,
             void* p) {
-    const Event e{at, next_seq_++, p, ch, a, kind};
-    std::uint64_t idx = static_cast<std::uint64_t>(at) >> kWidthBits;
-    if (idx < base_) idx = base_;
-    if (idx - base_ >= kBuckets) {
-      far_push(e);
-    } else {
-      near_[idx & (kBuckets - 1)].push_back(e);
-      ++near_size_;
-    }
-    ++size_;
-    if (size_ > peak_) peak_ = size_;
+    insert(Event{at, next_seq_++, p, ch, a, kind});
+  }
+
+  /// Schedule an event with a caller-supplied (time, seq) key instead of
+  /// the internal push counter.  The parallel engine orders every lane's
+  /// events by a push-time-derived key (see Simulator::next_shard_key) so
+  /// events merged in from other lanes slot into the same total order the
+  /// serial engine would have produced.  A queue must be driven entirely
+  /// by one key scheme: mixing push() and push_keyed() breaks ordering.
+  void push_keyed(TimePs at, std::uint64_t key, EventKind kind,
+                  std::int32_t ch, std::int32_t a, void* p) {
+    insert(Event{at, key, p, ch, a, kind});
   }
 
   [[nodiscard]] bool empty() const { return size_ == 0; }
@@ -93,6 +94,19 @@ class CalendarQueue {
 
  private:
   using Bucket = std::vector<Event>;
+
+  void insert(const Event& e) {
+    std::uint64_t idx = static_cast<std::uint64_t>(e.at) >> kWidthBits;
+    if (idx < base_) idx = base_;
+    if (idx - base_ >= kBuckets) {
+      far_push(e);
+    } else {
+      near_[idx & (kBuckets - 1)].push_back(e);
+      ++near_size_;
+    }
+    ++size_;
+    if (size_ > peak_) peak_ = size_;
+  }
 
   /// Locate the global minimum (nullptr when empty), advancing base_ past
   /// empty buckets (amortised O(1): every bucket skipped stays skipped)

@@ -17,11 +17,20 @@ namespace itb {
 /// Which engine a Simulator runs.  kLegacy is the original
 /// std::function-over-4-ary-heap loop (kept for A/B benchmarking and the
 /// golden differential tests); kPod is the POD-event calendar-queue engine
-/// with chunk-flow coalescing.
-enum class EngineKind : std::uint8_t { kLegacy, kPod };
+/// with chunk-flow coalescing.  kPodParallel is a harness-level selector
+/// (RunConfig::engine): one simulation sharded across RunConfig::shards
+/// lanes, each lane an ordinary kPod Simulator driven by the conservative
+/// window scheduler in sim/parallel_engine.hpp — a Simulator itself is
+/// never constructed with kPodParallel.
+enum class EngineKind : std::uint8_t { kLegacy, kPod, kPodParallel };
 
 [[nodiscard]] inline const char* to_string(EngineKind e) {
-  return e == EngineKind::kPod ? "pod" : "legacy";
+  switch (e) {
+    case EngineKind::kLegacy: return "legacy";
+    case EngineKind::kPod: return "pod";
+    case EngineKind::kPodParallel: return "pod_parallel";
+  }
+  return "?";
 }
 
 /// Compile-time default engine.  The ITB_LEGACY_EVENTS CMake option flips

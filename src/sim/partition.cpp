@@ -1,0 +1,60 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/params.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+PartitionPlan make_contiguous_plan(const Topology& topo,
+                                   const MyrinetParams& params, int shards) {
+  PartitionPlan plan;
+  const int switches = topo.num_switches();
+  plan.shards = std::clamp(shards, 1,
+                           std::min(switches, PartitionPlan::kMaxLanes));
+
+  plan.switch_lane.resize(static_cast<std::size_t>(switches));
+  for (SwitchId s = 0; s < switches; ++s) {
+    // Contiguous blocks, balanced to within one switch.
+    plan.switch_lane[static_cast<std::size_t>(s)] = static_cast<std::int16_t>(
+        static_cast<std::int64_t>(s) * plan.shards / switches);
+  }
+  plan.host_lane.resize(static_cast<std::size_t>(topo.num_hosts()));
+  for (HostId h = 0; h < topo.num_hosts(); ++h) {
+    plan.host_lane[static_cast<std::size_t>(h)] =
+        plan.lane_of_switch(topo.host(h).sw);
+  }
+
+  plan.ch_send_lane.assign(static_cast<std::size_t>(topo.num_channels()), 0);
+  plan.ch_recv_lane.assign(static_cast<std::size_t>(topo.num_channels()), 0);
+  TimePs min_cut = kTimeNever;   // over cut cables only
+  TimePs min_all = kTimeNever;   // fallback when nothing is cut
+  for (CableId c = 0; c < topo.num_cables(); ++c) {
+    const Cable& cb = topo.cable(c);
+    const std::int16_t a_lane = plan.lane_of_switch(cb.a.sw);
+    // Host cables: the host rides its switch's lane, so both halves agree.
+    const std::int16_t b_lane =
+        cb.to_host() ? plan.lane_of_host(cb.host) : plan.lane_of_switch(cb.b.sw);
+    const ChannelId fwd = topo.channel_from(c, true);   // A side -> B side
+    const ChannelId rev = topo.channel_from(c, false);  // B side -> A side
+    plan.ch_send_lane[static_cast<std::size_t>(fwd)] = a_lane;
+    plan.ch_recv_lane[static_cast<std::size_t>(fwd)] = b_lane;
+    plan.ch_send_lane[static_cast<std::size_t>(rev)] = b_lane;
+    plan.ch_recv_lane[static_cast<std::size_t>(rev)] = a_lane;
+    const TimePs prop = params.cable_prop_delay(cb.length_m);
+    min_all = std::min(min_all, prop);
+    if (a_lane != b_lane) {
+      assert(!cb.to_host());
+      plan.boundary_channels += 2;
+      min_cut = std::min(min_cut, prop);
+    }
+  }
+
+  const TimePs l = min_cut != kTimeNever ? min_cut : min_all;
+  plan.lookahead = l != kTimeNever && l >= 1 ? l : 1;
+  return plan;
+}
+
+}  // namespace itb

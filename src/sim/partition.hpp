@@ -1,0 +1,67 @@
+// Static partition plan for the conservative parallel engine: which lane
+// (shard) owns each switch, host and channel half of one simulation.
+//
+// The Network's mutable state decomposes cleanly by graph element: a
+// channel's sender half (owner/flow/credit state) lives with the element
+// the channel leaves, its receiver half (slack buffer, entries, stop/go
+// emission) with the element it enters.  Hosts are pinned to their
+// attachment switch's lane, so host<->switch channels never cross a lane
+// boundary; only switch<->switch cables can be cut.  Every event that
+// crosses a cut cable (a chunk arrival toward the receiver, a stop/go
+// credit back toward the sender) is delayed by at least that cable's
+// propagation delay, which is what makes the window scheme in
+// sim/parallel_engine.hpp conservative: `lookahead` is the minimum
+// propagation delay over the cut cables.
+//
+// The plan is partition-strategy-agnostic: the engine and the Network only
+// consume the per-element lane tables below.  make_contiguous_plan is the
+// first (and currently only) strategy — contiguous switch-index blocks,
+// which on the paper's regular topologies (torus rows, express rings) cuts
+// few cables and keeps neighbours together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace itb {
+
+class Topology;
+struct MyrinetParams;
+
+struct PartitionPlan {
+  /// Number of lanes (>= 1).  Clamped by the builder to [1, min(switches,
+  /// kMaxLanes)] — the event-key layout reserves 6 bits for the lane id.
+  int shards = 1;
+  static constexpr int kMaxLanes = 64;
+
+  /// Conservative window width: minimum propagation delay over cut cables
+  /// (with one lane, over all cables), always >= 1 ps.
+  TimePs lookahead = 1;
+
+  std::vector<std::int16_t> switch_lane;   // by SwitchId
+  std::vector<std::int16_t> host_lane;     // by HostId (== its switch's lane)
+  std::vector<std::int16_t> ch_send_lane;  // by ChannelId: sender-half owner
+  std::vector<std::int16_t> ch_recv_lane;  // by ChannelId: receiver-half owner
+
+  /// Channels whose two halves live on different lanes (both directions of
+  /// every cut cable).
+  int boundary_channels = 0;
+
+  [[nodiscard]] std::int16_t lane_of_switch(std::int32_t s) const {
+    return switch_lane[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::int16_t lane_of_host(std::int32_t h) const {
+    return host_lane[static_cast<std::size_t>(h)];
+  }
+};
+
+/// Contiguous block partition: switch s goes to lane s*shards/num_switches,
+/// hosts follow their switch, channel halves follow their endpoints.
+/// `shards` is clamped to [1, min(num_switches, PartitionPlan::kMaxLanes)].
+[[nodiscard]] PartitionPlan make_contiguous_plan(const Topology& topo,
+                                                 const MyrinetParams& params,
+                                                 int shards);
+
+}  // namespace itb

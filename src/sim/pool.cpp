@@ -77,9 +77,6 @@ namespace {
 /// lets their thread_local SimWorkspaces — and all the simulation capacity
 /// those hold — survive across driver calls; tearing a pool down per call
 /// would throw that warmed state away and reconstruct it every time.
-/// Callers must not nest pooled_for inside a pooled job (wait_idle from a
-/// worker of the same pool would deadlock); the drivers run nested calls
-/// inline via the jobs <= 1 path.
 ThreadPool& shared_pool(int threads) {
   static std::mutex mu;
   static std::map<int, std::unique_ptr<ThreadPool>> pools;
@@ -89,9 +86,21 @@ ThreadPool& shared_pool(int threads) {
   return *p;
 }
 
+/// True while the current thread is inside a pooled_for job.  Nested
+/// pooled_for calls run inline on the caller: a worker blocking in
+/// wait_idle() on its own pool would deadlock, and even on a *different*
+/// pool the nested fan-out could recruit workers whose thread_local
+/// workspaces are mid-point.  First hit in practice by a cold
+/// Testbed::routes() build triggered from inside a parallel driver.
+thread_local bool in_pooled_job = false;
+
 }  // namespace
 
 void pooled_for(int n, int threads, const std::function<void(int)>& fn) {
+  if (in_pooled_job) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
   ThreadPool& pool = shared_pool(threads);
   std::atomic<int> next{0};
   std::mutex err_mu;
@@ -100,9 +109,10 @@ void pooled_for(int n, int threads, const std::function<void(int)>& fn) {
   // the range is exhausted, so imbalanced points don't idle a worker.
   for (int w = 0; w < threads; ++w) {
     pool.submit([&] {
+      in_pooled_job = true;
       for (;;) {
         const int i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        if (i >= n) break;
         try {
           fn(i);
         } catch (...) {
@@ -110,6 +120,7 @@ void pooled_for(int n, int threads, const std::function<void(int)>& fn) {
           if (!first_error) first_error = std::current_exception();
         }
       }
+      in_pooled_job = false;
     });
   }
   pool.wait_idle();

@@ -57,7 +57,10 @@ class ThreadPool {
 
 namespace detail {
 /// Runs fn(0..n-1) on a pool of `threads` workers; rethrows the first
-/// exception any job threw after all jobs finish.
+/// exception any job threw after all jobs finish.  Re-entrant: a call made
+/// from inside a pooled job runs inline on that worker in index order
+/// (fanning out again would deadlock wait_idle or recruit workers whose
+/// thread_local workspaces are mid-point).
 void pooled_for(int n, int threads, const std::function<void(int)>& fn);
 }  // namespace detail
 

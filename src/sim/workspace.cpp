@@ -1,17 +1,36 @@
 #include "sim/workspace.hpp"
 
+#include "sim/partition.hpp"
+
 namespace itb {
 
 void SimWorkspace::prepare(EngineKind engine, const Topology& topo,
                            const RouteSet& routes, const MyrinetParams& params,
-                           PathPolicy policy, std::uint64_t net_seed) {
-  sim_.reset(engine);
+                           PathPolicy policy, std::uint64_t net_seed,
+                           int shards) {
+  parallel_ = (engine == EngineKind::kPodParallel);
+  // kPodParallel is a harness-level selector: the coordinator clock (like
+  // every lane) runs the plain POD engine.
+  sim_.reset(parallel_ ? EngineKind::kPod : engine);
+  ParallelEngine* par = nullptr;
+  if (parallel_) {
+    // configure() keeps the worker threads (and each lane's warmed calendar
+    // and arena) when the shard count is unchanged, so reused workspaces
+    // stay allocation-free in parallel mode too.
+    par_.configure(make_contiguous_plan(topo, params, shards));
+    par = &par_;
+  }
   if (net_) {
-    net_->reset(topo, routes, params, policy, net_seed);
+    net_->reset(topo, routes, params, policy, net_seed, par);
     metrics_->configure(topo.num_switches());
     ++reuses_;
   } else {
     net_.emplace(sim_, topo, routes, params, policy, net_seed);
+    // The constructor wires the serial path; rebind to the lanes when this
+    // first point is sharded.
+    if (par != nullptr) {
+      net_->reset(topo, routes, params, policy, net_seed, par);
+    }
     metrics_.emplace(topo.num_switches());
   }
 }

@@ -48,9 +48,15 @@ class SimWorkspace {
   /// collector for one simulation point.  After this call the stack is
   /// indistinguishable from freshly constructed objects: clock at zero,
   /// queues empty, ledgers clean, callbacks cleared.
+  ///
+  /// With engine == kPodParallel the simulation is sharded across `shards`
+  /// lanes (clamped by the partition plan): sim() becomes the coordinator
+  /// clock (watchdog ticks, empty-queue time pinning) and the lanes live in
+  /// engine(); drive both through the window protocol (see
+  /// harness/runner.cpp).  `shards` is ignored by the serial engines.
   void prepare(EngineKind engine, const Topology& topo, const RouteSet& routes,
                const MyrinetParams& params, PathPolicy policy,
-               std::uint64_t net_seed);
+               std::uint64_t net_seed, int shards = 1);
 
   /// Reset (or first-construct) the traffic generator against the prepared
   /// network.  Call after prepare().
@@ -60,6 +66,12 @@ class SimWorkspace {
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] Network& net() { return *net_; }
   [[nodiscard]] MetricsCollector& metrics() { return *metrics_; }
+  /// The conservative parallel engine (valid after a kPodParallel
+  /// prepare()).  Worker threads persist across points like every other
+  /// warmed resource in this workspace.
+  [[nodiscard]] ParallelEngine& engine() { return par_; }
+  /// Did the last prepare() shard the simulation?
+  [[nodiscard]] bool parallel() const { return parallel_; }
 
   /// Per-workspace telemetry buffers (src/obs/).  Owned here so traced runs
   /// honor the reuse contract: the tracer ring and profiler table keep
@@ -74,12 +86,14 @@ class SimWorkspace {
 
  private:
   Simulator sim_;  // declared first: Network/generator hold its address
+  ParallelEngine par_;  // idle (no threads) until a kPodParallel prepare()
   std::optional<Network> net_;
   std::optional<MetricsCollector> metrics_;
   std::optional<TrafficGenerator> gen_;
   PacketTracer tracer_;
   PhaseProfiler profiler_;
   std::uint64_t reuses_ = 0;
+  bool parallel_ = false;
 };
 
 /// The calling thread's own workspace.  Worker threads are persistent, so

@@ -49,12 +49,19 @@ class TrafficGenerator {
   /// one interval, so hosts do not fire in lockstep).
   void start();
 
-  /// Stop generating; already-queued packets drain normally.
+  /// Stop generating; already-queued packets drain normally.  In a sharded
+  /// run, call only at a window-sync point (lanes quiescent).
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] std::uint64_t messages_generated() const { return generated_; }
+  /// Sum of the per-host counters (kept per host so sharded lanes never
+  /// write a shared counter; cold accessor, read at sync points).
+  [[nodiscard]] std::uint64_t messages_generated() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t g : host_generated_) n += g;
+    return n;
+  }
   [[nodiscard]] std::uint64_t flits_generated() const {
-    return generated_ * static_cast<std::uint64_t>(cfg_.payload_bytes);
+    return messages_generated() * static_cast<std::uint64_t>(cfg_.payload_bytes);
   }
   /// Per-host inter-arrival time implied by the configured load.
   [[nodiscard]] TimePs interval() const { return interval_; }
@@ -69,7 +76,7 @@ class TrafficGenerator {
   TrafficConfig cfg_;
   TimePs interval_;
   bool stopped_ = false;
-  std::uint64_t generated_ = 0;
+  std::vector<std::uint64_t> host_generated_;
   std::vector<Rng> host_rng_;
   MessageTap tap_;
 };

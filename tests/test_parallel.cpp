@@ -100,6 +100,46 @@ TEST(ParallelPool, DefaultJobsHonoursEnvironment) {
   EXPECT_GE(default_jobs(), 1);
 }
 
+TEST(ParallelPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // Regression: parallel_for_n nested inside a pooled job must run inline
+  // on the calling worker — fanning out again could deadlock wait_idle or
+  // recruit workers whose thread_local workspaces are mid-point.  Before
+  // the re-entrancy guard, a cold Testbed::routes() inside a driver was
+  // forced onto the serial build path for exactly this reason.
+  std::atomic<int> inner_total{0};
+  parallel_for_n(4, 4, [&](int) {
+    const std::thread::id outer = std::this_thread::get_id();
+    parallel_for_n(8, 4, [&](int) {
+      // Inline contract: the nested range runs on the worker itself.
+      EXPECT_EQ(std::this_thread::get_id(), outer);
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ParallelTestbed, ColdRoutesBuildFromInsideAPooledJobIsSafe) {
+  // Satellite of the same regression: routes() now fans its row build out
+  // across default_jobs(), so a cold call from a pool worker exercises the
+  // nested-pooled_for path end to end and must produce the same table a
+  // main-thread build does.
+  Testbed warm_tb(make_torus_2d(4, 4, 4));
+  warm_tb.warm(RoutingScheme::kItbSp);
+  const RouteSet& reference = warm_tb.routes(RoutingScheme::kItbSp);
+
+  Testbed cold_tb(make_torus_2d(4, 4, 4));
+  std::atomic<const RouteSet*> seen{nullptr};
+  parallel_for_n(4, 4, [&](int) {
+    const RouteSet& r = cold_tb.routes(RoutingScheme::kItbSp);
+    const RouteSet* expected = nullptr;
+    seen.compare_exchange_strong(expected, &r);
+    EXPECT_EQ(seen.load(), &r);  // every worker sees the one shared table
+  });
+  ASSERT_NE(seen.load(), nullptr);
+  EXPECT_EQ(seen.load()->table_bytes(), reference.table_bytes());
+  EXPECT_EQ(seen.load()->segments_shared(), reference.segments_shared());
+}
+
 TEST(ParallelTestbed, ConcurrentRoutesShareOneTable) {
   Testbed tb(make_torus_2d(4, 4, 2));
   std::vector<const RouteSet*> seen(16, nullptr);

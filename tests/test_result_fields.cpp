@@ -54,6 +54,11 @@ RunResult distinctive_result() {
   r.route_segments_shared = 115;
   r.checked = false;
   r.invariant_violations = 113;
+  r.shards = 116;
+  r.window_ns = 12.25;
+  r.windows_executed = 117;
+  r.boundary_events = 118;
+  r.boundary_ties = 119;
   return r;
 }
 
@@ -162,6 +167,11 @@ TEST(ResultFields, DeterminismComparisonUsesTheRegistryClasses) {
   b.route_table_bytes += 11;
   b.route_build_ms += 0.5;
   b.route_segments_shared += 3;
+  b.shards += 2;
+  b.window_ns += 0.25;
+  b.windows_executed += 9;
+  b.boundary_events += 13;
+  b.boundary_ties += 17;
   EXPECT_TRUE(same_simulated_metrics(a, b));
 
   // …while any simulated scalar difference must.
@@ -180,7 +190,7 @@ TEST(ResultFields, RegistryCoversEveryRunResultScalar) {
   // Drift guard: adding a scalar to RunResult without registering it (or
   // registering without adding) trips this count.  Update BOTH together —
   // result_fields.cpp is the single source the emitters iterate.
-  EXPECT_EQ(result_fields().size(), 28u);
+  EXPECT_EQ(result_fields().size(), 33u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -78,6 +79,72 @@ TEST(EventQueue, NextTimeReportsHead) {
   EXPECT_EQ(q.next_time(), kTimeNever);
   q.push(99, [] {});
   EXPECT_EQ(q.next_time(), 99);
+}
+
+// --- CalendarQueue boundary behaviour -------------------------------------
+// The parallel engine leans on pop_if_at_most at its window deadlines, so
+// the edges matter: a deadline exactly on a bucket boundary, and events
+// sitting exactly at the near-ring horizon (the near/far split).
+
+TEST(CalendarQueue, PopIfAtMostIsInclusiveAtBucketEdge) {
+  CalendarQueue q;
+  const TimePs width = TimePs{1} << CalendarQueue::kWidthBits;
+  // Last picosecond of bucket 0 and first of bucket 1.
+  q.push(width - 1, EventKind::kCallback, 0, 0, nullptr);
+  q.push(width, EventKind::kCallback, 1, 0, nullptr);
+
+  Event e;
+  // A deadline one below the first event leaves the queue untouched.
+  EXPECT_FALSE(q.pop_if_at_most(width - 2, e));
+  EXPECT_EQ(q.size(), 2u);
+  // A deadline exactly on the event's time pops it (inclusive contract,
+  // same as Simulator::run_until), but not its bucket-1 neighbour.
+  ASSERT_TRUE(q.pop_if_at_most(width - 1, e));
+  EXPECT_EQ(e.at, width - 1);
+  EXPECT_FALSE(q.pop_if_at_most(width - 1, e));
+  ASSERT_TRUE(q.pop_if_at_most(width, e));
+  EXPECT_EQ(e.at, width);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, PopIfAtMostAtTheNearFarHorizon) {
+  CalendarQueue q;
+  // kHorizonPs falls outside the near ring when base_ is at zero, so this
+  // event lands in the far heap; its neighbour one ps earlier lands in the
+  // ring's last bucket.
+  q.push(CalendarQueue::kHorizonPs, EventKind::kCallback, 7, 0, nullptr);
+  q.push(CalendarQueue::kHorizonPs - 1, EventKind::kCallback, 8, 0, nullptr);
+
+  Event e;
+  ASSERT_TRUE(q.pop_if_at_most(CalendarQueue::kHorizonPs - 1, e));
+  EXPECT_EQ(e.at, CalendarQueue::kHorizonPs - 1);
+  EXPECT_EQ(e.ch, 8);
+  // The far event must not pop below its time...
+  EXPECT_FALSE(q.pop_if_at_most(CalendarQueue::kHorizonPs - 1, e));
+  // ...and must pop at exactly its time, straight from the heap (far
+  // events are never migrated into the ring).
+  ASSERT_TRUE(q.pop_if_at_most(CalendarQueue::kHorizonPs, e));
+  EXPECT_EQ(e.ch, 7);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, EqualTimesAcrossTheHorizonPopInPushOrder) {
+  CalendarQueue q;
+  const TimePs horizon = CalendarQueue::kHorizonPs;
+  // First push at the horizon goes far (base_ = 0).  Popping the filler
+  // advances base_ to the ring's last bucket, so the SECOND push at the
+  // very same time lands in the near ring.  The (time, seq) contract must
+  // still pop them in push order across the two stores.
+  q.push(horizon, EventKind::kCallback, 1, 0, nullptr);    // far, seq 0
+  q.push(horizon - 1, EventKind::kCallback, 0, 0, nullptr);  // near filler
+  Event e;
+  ASSERT_TRUE(q.pop_if_at_most(horizon - 1, e));
+  q.push(horizon, EventKind::kCallback, 2, 0, nullptr);    // near, seq 2
+  ASSERT_TRUE(q.pop_if_at_most(horizon, e));
+  EXPECT_EQ(e.ch, 1);  // the far event pushed first wins the tie
+  ASSERT_TRUE(q.pop_if_at_most(horizon, e));
+  EXPECT_EQ(e.ch, 2);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(Simulator, ClockFollowsEvents) {

@@ -60,6 +60,12 @@ using namespace itb;
                "  --seed N         RNG seed (default 42)\n"
                "  --chunk N        engine chunk size in flits, 1..8 (default "
                "8)\n"
+               "  --engine E       legacy | pod | pod_parallel (default pod;\n"
+               "                   pod_parallel shards ONE simulation across\n"
+               "                   --shards worker threads, same results)\n"
+               "  --shards N       worker lanes for --engine pod_parallel\n"
+               "                   (default: hardware concurrency, clamped to\n"
+               "                   the topology's switch count)\n"
                "  --poisson        Poisson instead of constant-rate arrivals\n"
                "  --csv PATH       append results as CSV\n"
                "  --json           print results as JSON instead of a table\n"
@@ -140,6 +146,14 @@ std::unique_ptr<DestinationPattern> make_pattern(const std::string& spec,
   usage(argv0, "unknown pattern '" + spec + "'");
 }
 
+std::optional<EngineKind> parse_engine(const std::string& name) {
+  for (const EngineKind e :
+       {EngineKind::kLegacy, EngineKind::kPod, EngineKind::kPodParallel}) {
+    if (name == to_string(e)) return e;
+  }
+  return std::nullopt;
+}
+
 std::optional<RoutingScheme> parse_scheme(const std::string& name) {
   for (const RoutingScheme s :
        {RoutingScheme::kUpDown, RoutingScheme::kItbSp, RoutingScheme::kItbRr,
@@ -189,6 +203,16 @@ int main(int argc, char** argv) {
       else if (arg == "--measure-us") cfg.measure = us(std::stoll(need_value(i)));
       else if (arg == "--seed") cfg.seed = std::stoull(need_value(i));
       else if (arg == "--chunk") cfg.params.chunk_flits = std::stoi(need_value(i));
+      else if (arg == "--engine") {
+        const std::string name = need_value(i);
+        const auto engine = parse_engine(name);
+        if (!engine) usage(argv[0], "unknown engine '" + name + "'");
+        cfg.engine = *engine;
+        if (cfg.engine == EngineKind::kPodParallel && cfg.shards <= 1) {
+          cfg.shards = default_jobs();  // clamped to switches by the plan
+        }
+      }
+      else if (arg == "--shards") cfg.shards = std::stoi(need_value(i));
       else if (arg == "--poisson") cfg.poisson = true;
       else if (arg == "--csv") csv = need_value(i);
       else if (arg == "--json") as_json = true;
@@ -210,6 +234,7 @@ int main(int argc, char** argv) {
     }
   }
   if (jobs < 1) usage(argv[0], "--jobs must be >= 1");
+  if (cfg.shards < 1) usage(argv[0], "--shards must be >= 1");
 
   try {
     Topology topo = make_topology(topo_spec, argv[0]);

@@ -38,6 +38,14 @@ def rates(record):
                 "sampled_events_per_sec", "profiled_events_per_sec"):
         if key in telemetry:
             out[f"telemetry.{key}"] = telemetry[key]
+    shard = mk.get("shard_ab", {})
+    if "serial_events_per_sec" in shard:
+        out["shard_ab.serial_events_per_sec"] = shard["serial_events_per_sec"]
+    for sample in shard.get("shards", []):
+        if "shards" in sample and "events_per_sec" in sample:
+            out[f"shard_ab.k{sample['shards']}.events_per_sec"] = (
+                sample["events_per_sec"]
+            )
     for sample in record.get("parallel_scaling", {}).get("samples", []):
         if "jobs" in sample and "events_per_sec" in sample:
             out[f"parallel_scaling.jobs{sample['jobs']}.events_per_sec"] = (
@@ -178,6 +186,30 @@ def main():
             regressions += 1
             print("::warning title=perf-smoke::parallel route build is NOT "
                   "bit-identical to the serial build")
+
+    # Sharded-engine smoke (informational, never a rate gate): the
+    # conservative window engine's speedup over serial for one simulation.
+    # Hosted CI runners are often effectively single-core, where sharding
+    # legitimately runs BELOW 1.0x (barrier overhead, no parallel gain), so
+    # only the determinism bit warns — speedups are for multicore boxes
+    # reading the committed record.
+    shard = fresh_record.get("micro_kernel", {}).get("shard_ab", {})
+    shard_serial = shard.get("serial_events_per_sec")
+    for sample in shard.get("shards", []):
+        rate = sample.get("events_per_sec")
+        if shard_serial and rate:
+            print(f"  shard speedup K={sample.get('shards', '?')}: "
+                  f"{rate / shard_serial:.2f}x "
+                  f"(ties {sample.get('boundary_ties', '?')})")
+    if shard.get("bit_identical") is False:
+        regressions += 1
+        print("::warning title=perf-smoke::sharded engine is NOT "
+              "bit-identical to the serial engine")
+    scaling = fresh_record.get("parallel_scaling", {})
+    if scaling.get("shard_deterministic") is False:
+        regressions += 1
+        print("::warning title=perf-smoke::intra-run sharding is NOT "
+              "bit-identical to the serial engine")
 
     # Parallel-efficiency smoke: the workspace layer's headline number.
     base_eff = parallel_efficiency(baseline_record)

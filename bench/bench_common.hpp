@@ -23,11 +23,27 @@
 
 namespace itb::bench {
 
-/// The three evaluation networks of §4.1.
+/// The three evaluation networks of §4.1, plus the low-diameter frontier
+/// cells of bench_lowdiameter (auto-rooted: a corner root would needlessly
+/// deepen the up*/down* tree on these dense graphs).
 inline Testbed make_testbed(const std::string& name) {
   if (name == "torus") return Testbed(make_torus_2d(8, 8, 8));
   if (name == "express") return Testbed(make_torus_2d_express(8, 8, 8));
   if (name == "cplant") return Testbed(make_cplant());
+  if (name == "hyperx8x8") return Testbed(make_hyperx({8, 8}, 8), kAutoRoot);
+  if (name == "hyperx16x16") {
+    return Testbed(make_hyperx({16, 16}, 8), kAutoRoot);
+  }
+  if (name == "hyperx32x32") {
+    return Testbed(make_hyperx({32, 32}, 8), kAutoRoot);
+  }
+  if (name == "dragonfly4") return Testbed(make_dragonfly(4, 4, 2), kAutoRoot);
+  if (name == "dragonfly8") return Testbed(make_dragonfly(8, 8, 4), kAutoRoot);
+  if (name == "dragonfly16") {
+    return Testbed(make_dragonfly(16, 8, 8), kAutoRoot);
+  }
+  if (name == "fullmesh16") return Testbed(make_full_mesh(16, 8), kAutoRoot);
+  if (name == "fullmesh64") return Testbed(make_full_mesh(64, 8), kAutoRoot);
   throw std::invalid_argument("unknown testbed: " + name);
 }
 

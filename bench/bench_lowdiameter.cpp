@@ -1,0 +1,350 @@
+// Low-diameter frontier: HyperX, Dragonfly and full-mesh cells comparing
+// structured minimal source routes (MIN) against up*/down* and the ITB
+// schemes, at the scale where the up*/down* tree visibly collapses.
+//
+// Two sections:
+//   1. A (testbed x scheme x load) grid over the small/medium cells,
+//      recording accepted traffic and latency per point plus the route
+//      table footprint (compressed table_bytes, build_ms) per table.
+//      UP/DOWN rides only on cells up to 256 switches — SimpleRoutes'
+//      candidate enumeration is the paper's algorithm and is quadratic in
+//      switches, which is exactly the story this bench tells.
+//   2. A scale/acceptance section: >= 1024-switch cells (hyperx 32x32;
+//      plus dragonfly a=16 p=8 h=8 in --full) run checked (route verifier
+//      + deadlock watchdog) with ITB-RR, serially and sharded across the
+//      conservative parallel engine at 4 and 8 lanes, holding every
+//      sharded run to bit-identical simulated metrics and zero invariant
+//      violations.  The partition plan's per-lane cut degrees are
+//      reported: dense graphs cut almost everything, and the plan (not
+//      the engine) is what has to absorb that irregularity.
+//
+// Exit status is the acceptance gate: non-zero if any sharded run
+// diverges from its serial twin or any checked run records a violation.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "harness/json.hpp"
+#include "net/params.hpp"
+#include "sim/partition.hpp"
+
+using namespace itb;
+using namespace itb::bench;
+
+namespace {
+
+struct GridSpec {
+  std::string testbed;
+  RoutingScheme scheme;
+  double load;
+};
+
+struct TableStat {
+  std::string testbed;
+  RoutingScheme scheme;
+  int switches;
+  int hosts;
+  std::uint64_t table_bytes;
+  double build_ms;
+};
+
+constexpr char kSection[] = "lowdiameter";
+constexpr char kScaleSection[] = "lowdiameter_scale";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_args(argc, argv);
+  print_header("Low-diameter frontier",
+               "HyperX / Dragonfly / full-mesh: MIN vs UP/DOWN vs ITB");
+
+  // ---------------------------------------------------------------- grid
+  const std::vector<std::string> grid_beds =
+      opts.fast ? std::vector<std::string>{"hyperx8x8", "dragonfly4",
+                                           "fullmesh16"}
+                : std::vector<std::string>{"hyperx8x8", "hyperx16x16",
+                                           "dragonfly4", "dragonfly8",
+                                           "fullmesh16", "fullmesh64"};
+  const std::vector<double> loads = opts.fast
+                                        ? std::vector<double>{0.005, 0.02}
+                                        : std::vector<double>{0.005, 0.015,
+                                                              0.03};
+
+  std::vector<Testbed> beds;
+  beds.reserve(grid_beds.size());
+  std::vector<std::vector<RoutingScheme>> bed_schemes;
+  std::vector<TableStat> tables;
+  for (const std::string& name : grid_beds) {
+    beds.push_back(make_testbed(name));
+    const Testbed& tb = beds.back();
+    std::vector<RoutingScheme> schemes = {RoutingScheme::kMinimal};
+    // The paper's up*/down* candidate search is quadratic in switches;
+    // keep it to the cells where it is the honest baseline, not a stall.
+    if (tb.topo().num_switches() <= 256) {
+      schemes.push_back(RoutingScheme::kUpDown);
+    }
+    schemes.push_back(RoutingScheme::kItbSp);
+    schemes.push_back(RoutingScheme::kItbRr);
+    for (const RoutingScheme s : schemes) tb.warm(s, opts.jobs);
+    for (const RoutingScheme s : schemes) {
+      // ITB-SP and ITB-RR share one table; record it once.
+      if (s == RoutingScheme::kItbRr) continue;
+      const RouteSet& r = tb.routes(s);
+      tables.push_back({name, s, tb.topo().num_switches(),
+                        tb.topo().num_hosts(), r.table_bytes(),
+                        r.build_ms()});
+    }
+    bed_schemes.push_back(std::move(schemes));
+  }
+
+  std::vector<GridSpec> cells;
+  std::vector<const Testbed*> cell_bed;
+  for (std::size_t b = 0; b < beds.size(); ++b) {
+    for (const RoutingScheme s : bed_schemes[b]) {
+      for (const double load : loads) {
+        cells.push_back({grid_beds[b], s, load});
+        cell_bed.push_back(&beds[b]);
+      }
+    }
+  }
+
+  RunConfig base = default_config(opts);
+  if (opts.fast) {
+    base.warmup = us(40);
+    base.measure = us(100);
+  }
+  const std::vector<RunResult> grid = run_grid<RunResult>(
+      static_cast<int>(cells.size()), opts, [&](int i) {
+        const GridSpec& c = cells[static_cast<std::size_t>(i)];
+        const Testbed& tb = *cell_bed[static_cast<std::size_t>(i)];
+        UniformPattern pattern(tb.topo().num_hosts());
+        RunConfig cfg = base;
+        cfg.load_flits_per_ns_per_switch = c.load;
+        return run_point(tb, c.scheme, pattern, cfg);
+      });
+
+  TextTable table({"testbed", "scheme", "load", "offered", "accepted",
+                   "lat(ns)", "p99(ns)", "itbs"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const GridSpec& c = cells[i];
+    const RunResult& r = grid[i];
+    char load[32], off[32], acc[32], lat[32], p99[32], itbs[32];
+    std::snprintf(load, sizeof load, "%.3f", c.load);
+    std::snprintf(off, sizeof off, "%.4f", r.offered);
+    std::snprintf(acc, sizeof acc, "%.4f", r.accepted);
+    std::snprintf(lat, sizeof lat, "%.0f", r.avg_latency_ns);
+    std::snprintf(p99, sizeof p99, "%.0f", r.p99_latency_ns);
+    std::snprintf(itbs, sizeof itbs, "%.2f", r.avg_itbs);
+    table.add_row({c.testbed, to_string(c.scheme), load, off, acc, lat, p99,
+                   itbs});
+  }
+  table.print(std::cout);
+
+  TextTable ttable({"testbed", "sw", "hosts", "table", "bytes", "build(ms)"});
+  for (const TableStat& t : tables) {
+    char bytes[32], ms[32];
+    std::snprintf(bytes, sizeof bytes, "%llu",
+                  static_cast<unsigned long long>(t.table_bytes));
+    std::snprintf(ms, sizeof ms, "%.1f", t.build_ms);
+    ttable.add_row({t.testbed, std::to_string(t.switches),
+                    std::to_string(t.hosts), to_string(t.scheme), bytes, ms});
+  }
+  std::printf("\nroute-table footprint (ITB table shared by SP/RR):\n");
+  ttable.print(std::cout);
+
+  // ------------------------------------------------------------- scale
+  // Checked >=1k-switch cells: serial POD vs conservative parallel engine
+  // at 4 and 8 lanes, bit-identical or bust.
+  const std::vector<std::string> scale_beds =
+      opts.fast ? std::vector<std::string>{"hyperx32x32"}
+                : std::vector<std::string>{"hyperx32x32", "dragonfly16"};
+  const std::vector<int> shard_ladder = {4, 8};
+
+  struct ScaleCell {
+    std::string testbed;
+    int switches = 0;
+    int hosts = 0;
+    RunResult serial;
+    std::vector<RunResult> sharded;   // by shard_ladder
+    std::vector<bool> identical;      // by shard_ladder
+    PartitionPlan plan;               // at shard_ladder.back()
+    std::uint64_t table_bytes = 0;
+    double build_ms = 0.0;
+  };
+  std::vector<ScaleCell> scale;
+  bool scale_ok = true;
+
+  for (const std::string& name : scale_beds) {
+    Testbed tb = make_testbed(name);
+    tb.warm(RoutingScheme::kItbSp, opts.jobs);
+    ScaleCell cell;
+    cell.testbed = name;
+    cell.switches = tb.topo().num_switches();
+    cell.hosts = tb.topo().num_hosts();
+    const RouteSet& routes = tb.routes(RoutingScheme::kItbRr);
+    cell.table_bytes = routes.table_bytes();
+    cell.build_ms = routes.build_ms();
+
+    UniformPattern pattern(tb.topo().num_hosts());
+    RunConfig cfg = base;
+    cfg.checked = true;  // route verifier + deadlock watchdog
+    cfg.warmup = us(opts.fast ? 15 : 40);
+    cfg.measure = us(opts.fast ? 40 : 120);
+    cfg.load_flits_per_ns_per_switch = 0.004;
+    cfg.engine = EngineKind::kPod;
+    cell.serial = run_point(tb, RoutingScheme::kItbRr, pattern, cfg);
+    if (cell.serial.invariant_violations != 0) scale_ok = false;
+
+    cfg.engine = EngineKind::kPodParallel;
+    for (const int shards : shard_ladder) {
+      cfg.shards = shards;
+      RunResult r = run_point(tb, RoutingScheme::kItbRr, pattern, cfg);
+      RunResult cmp = r;
+      // Per-lane queue peaks sum differently than one serial queue; every
+      // other simulated field must match exactly.
+      cmp.peak_event_queue_len = cell.serial.peak_event_queue_len;
+      const bool same = same_simulated_metrics(cell.serial, cmp) &&
+                        r.invariant_violations == 0;
+      if (!same) {
+        std::printf("DETERMINISM VIOLATION: %s differs at --shards %d\n",
+                    name.c_str(), shards);
+        scale_ok = false;
+      }
+      cell.identical.push_back(same);
+      cell.sharded.push_back(std::move(r));
+    }
+    cell.plan = make_contiguous_plan(tb.topo(), cfg.params,
+                                     shard_ladder.back());
+    scale.push_back(std::move(cell));
+  }
+
+  std::printf("\nscale cells (checked, ITB-RR, serial vs pod_parallel):\n");
+  TextTable stable({"testbed", "sw", "hosts", "shards", "accepted", "lat(ns)",
+                    "windows", "boundary", "cut-min", "cut-max", "identical"});
+  for (const ScaleCell& c : scale) {
+    char acc[32], lat[32];
+    std::snprintf(acc, sizeof acc, "%.4f", c.serial.accepted);
+    std::snprintf(lat, sizeof lat, "%.0f", c.serial.avg_latency_ns);
+    stable.add_row({c.testbed, std::to_string(c.switches),
+                    std::to_string(c.hosts), "1", acc, lat, "-", "-", "-",
+                    "-", "-"});
+    for (std::size_t k = 0; k < c.sharded.size(); ++k) {
+      const RunResult& r = c.sharded[k];
+      char sacc[32], slat[32];
+      std::snprintf(sacc, sizeof sacc, "%.4f", r.accepted);
+      std::snprintf(slat, sizeof slat, "%.0f", r.avg_latency_ns);
+      int cut_min = 0, cut_max = 0;
+      if (!c.plan.lane_cut_channels.empty()) {
+        cut_min = *std::min_element(c.plan.lane_cut_channels.begin(),
+                                    c.plan.lane_cut_channels.end());
+        cut_max = *std::max_element(c.plan.lane_cut_channels.begin(),
+                                    c.plan.lane_cut_channels.end());
+      }
+      stable.add_row({c.testbed, std::to_string(c.switches),
+                      std::to_string(c.hosts),
+                      std::to_string(shard_ladder[k]), sacc, slat,
+                      std::to_string(r.windows_executed),
+                      std::to_string(r.boundary_events),
+                      std::to_string(cut_min), std::to_string(cut_max),
+                      c.identical[k] ? "yes" : "NO"});
+    }
+  }
+  stable.print(std::cout);
+  std::printf("scale determinism: %s\n",
+              scale_ok ? "OK (all shard counts bit-identical, 0 violations)"
+                       : "VIOLATED");
+
+  if (!opts.json.empty()) {
+    {
+      JsonWriter w;
+      w.begin_object();
+      w.key("cells").begin_array();
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const GridSpec& c = cells[i];
+        const RunResult& r = grid[i];
+        w.begin_object();
+        w.key("testbed").value(c.testbed);
+        w.key("scheme").value(to_string(c.scheme));
+        w.key("load").value(c.load);
+        w.key("offered").value(r.offered);
+        w.key("accepted").value(r.accepted);
+        w.key("avg_latency_ns").value(r.avg_latency_ns);
+        w.key("p99_latency_ns").value(r.p99_latency_ns);
+        w.key("avg_itbs").value(r.avg_itbs);
+        w.key("saturated").value(r.saturated);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("tables").begin_array();
+      for (const TableStat& t : tables) {
+        w.begin_object();
+        w.key("testbed").value(t.testbed);
+        w.key("scheme").value(to_string(t.scheme));
+        w.key("switches").value(t.switches);
+        w.key("hosts").value(t.hosts);
+        w.key("table_bytes").value(t.table_bytes);
+        w.key("build_ms").value(t.build_ms);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      write_json_section(opts.json, kSection, w.str());
+    }
+    {
+      JsonWriter w;
+      w.begin_object();
+      w.key("deterministic").value(scale_ok);
+      w.key("cells").begin_array();
+      for (const ScaleCell& c : scale) {
+        w.begin_object();
+        w.key("testbed").value(c.testbed);
+        w.key("switches").value(c.switches);
+        w.key("hosts").value(c.hosts);
+        w.key("scheme").value(to_string(RoutingScheme::kItbRr));
+        w.key("table_bytes").value(c.table_bytes);
+        w.key("build_ms").value(c.build_ms);
+        w.key("serial").begin_object();
+        w.key("accepted").value(c.serial.accepted);
+        w.key("avg_latency_ns").value(c.serial.avg_latency_ns);
+        w.key("events").value(c.serial.events);
+        w.key("invariant_violations").value(c.serial.invariant_violations);
+        w.key("checked").value(c.serial.checked);
+        w.end_object();
+        w.key("plan").begin_object();
+        w.key("shards").value(c.plan.shards);
+        w.key("lookahead_ps").value(c.plan.lookahead);
+        w.key("boundary_channels").value(c.plan.boundary_channels);
+        w.key("lane_switches").begin_array();
+        for (const int v : c.plan.lane_switches) w.value(v);
+        w.end_array();
+        w.key("lane_cut_channels").begin_array();
+        for (const int v : c.plan.lane_cut_channels) w.value(v);
+        w.end_array();
+        w.end_object();
+        w.key("sharded").begin_array();
+        for (std::size_t k = 0; k < c.sharded.size(); ++k) {
+          const RunResult& r = c.sharded[k];
+          w.begin_object();
+          w.key("shards").value(shard_ladder[k]);
+          w.key("identical_to_serial").value(
+              static_cast<bool>(c.identical[k]));
+          w.key("invariant_violations").value(r.invariant_violations);
+          w.key("events").value(r.events);
+          w.key("window_ns").value(r.window_ns);
+          w.key("windows_executed").value(r.windows_executed);
+          w.key("boundary_events").value(r.boundary_events);
+          w.key("boundary_ties").value(r.boundary_ties);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      write_json_section(opts.json, kScaleSection, w.str());
+    }
+    std::printf("wrote %s + %s sections to %s\n", kSection, kScaleSection,
+                opts.json.c_str());
+  }
+  return scale_ok ? 0 : 1;
+}

@@ -1,9 +1,11 @@
 #include "check/route_verify.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
 #include "core/itb_split.hpp"
+#include "route/topo_minimal.hpp"
 
 namespace itb {
 
@@ -110,7 +112,18 @@ RouteVerifyReport verify_route_set(const Topology& topo, const UpDown& ud,
                                    const RouteVerifyOptions& opts) {
   RouteVerifyReport report;
   const int n = routes.num_switches();
-  const bool itb_table = routes.algorithm() == RoutingAlgorithm::kItb;
+  const RoutingAlgorithm algo = routes.algorithm();
+  const bool itb_table = algo == RoutingAlgorithm::kItb;
+  const bool minimal_table = algo == RoutingAlgorithm::kMinimal;
+  // Structured-minimal tables are checked against the oracle's canonical
+  // length, not the BFS distance: the canonical Dragonfly l-g-l path (at
+  // most 3 hops via the direct group-pair cable) can be longer than a
+  // two-global BFS shortcut through a third group, and that is the length
+  // the table is specified to install.
+  std::optional<StructuredMinimal> oracle;
+  if (minimal_table && has_structured_minimal(topo)) {
+    oracle.emplace(topo);
+  }
   for (SwitchId s = 0; s < n; ++s) {
     const std::vector<int> dist = topo.switch_distances_from(s);
     for (SwitchId d = 0; d < n; ++d) {
@@ -167,14 +180,19 @@ RouteVerifyReport verify_route_set(const Topology& topo, const UpDown& ud,
         }
 
         // Legality of each leg: the segments between splits must each obey
-        // up*/down*.
+        // up*/down*.  Structured-minimal tables are exempt — their routes
+        // are deliberately unrestricted (that freedom is what the ITB
+        // schemes are being compared against) and their deadlock story is
+        // per topology, not per leg.
         const auto segments = split_path(path, leg_splits);
         bool legs_legal = true;
-        for (std::size_t seg = 0; seg < segments.size(); ++seg) {
-          if (!ud.legal(segments[seg])) {
-            legs_legal = false;
-            ctx.fail(alt, "leg " + std::to_string(seg) +
-                              " violates up*/down* (down->up inside a leg)");
+        if (!minimal_table) {
+          for (std::size_t seg = 0; seg < segments.size(); ++seg) {
+            if (!ud.legal(segments[seg])) {
+              legs_legal = false;
+              ctx.fail(alt, "leg " + std::to_string(seg) +
+                                " violates up*/down* (down->up inside a leg)");
+            }
           }
         }
 
@@ -202,6 +220,30 @@ RouteVerifyReport verify_route_set(const Topology& topo, const UpDown& ud,
                                 " hops, minimal distance is " +
                                 std::to_string(dist[idx(d)]));
             }
+          }
+        } else if (minimal_table) {
+          // Structured-minimal tables: single-leg minimal routes, never
+          // split, exactly one alternative per pair.
+          if (r.num_itbs() != 0) {
+            ctx.fail(alt, "minimal table route uses in-transit buffers");
+          }
+          if (oracle) {
+            const int want = oracle->path(s, d).hops();
+            if (path.hops() != want) {
+              ctx.fail(alt, "path has " + std::to_string(path.hops()) +
+                                " hops, canonical minimal length is " +
+                                std::to_string(want) + " (BFS distance " +
+                                std::to_string(dist[idx(d)]) + ")");
+            }
+          } else if (!minimal) {
+            ctx.fail(alt, "path has " + std::to_string(path.hops()) +
+                              " hops, minimal distance is " +
+                              std::to_string(dist[idx(d)]));
+          }
+          if (alts.size() != 1) {
+            ctx.fail(alt, "minimal table pair holds " +
+                              std::to_string(alts.size()) +
+                              " alternatives, expected exactly 1");
           }
         } else {
           // UP/DOWN tables: single-leg legal routes, never split.

@@ -21,6 +21,9 @@
 //
 // UP/DOWN tables are checked for structure + legality + zero ITBs; their
 // paths are legal-shortest, not minimal, so minimality is skipped.
+// Structured-minimal tables (RoutingAlgorithm::kMinimal) are checked for
+// structure + minimality + zero ITBs + exactly one alternative; up*/down*
+// legality is skipped by design — their routes are unrestricted.
 #pragma once
 
 #include <cstdint>

@@ -21,8 +21,10 @@ namespace itb {
 
 /// Which route computation populated a routing table.
 enum class RoutingAlgorithm {
-  kUpDown,  // original Myrinet: one simple_routes-selected up*/down* path
-  kItb,     // minimal paths split into legal legs via in-transit buffers
+  kUpDown,   // original Myrinet: one simple_routes-selected up*/down* path
+  kItb,      // minimal paths split into legal legs via in-transit buffers
+  kMinimal,  // structured minimal route per pair (route/topo_minimal.hpp):
+             // dimension-order (HyperX), l-g-l (Dragonfly), direct (mesh)
 };
 
 struct RouteLeg {

@@ -6,8 +6,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include <span>
+
 #include "core/itb_split.hpp"
 #include "route/minimal_paths.hpp"
+#include "route/topo_minimal.hpp"
 #include "sim/pool.hpp"
 
 namespace itb {
@@ -78,9 +81,38 @@ Row updown_row(const Topology& topo, const SimpleRoutes& sr, SwitchId s) {
   return row;
 }
 
-Row itb_row(const Topology& topo, const UpDown& ud,
-            const ItbBuildOptions& opts, SwitchId s) {
+Row minimal_row(const Topology& topo, const StructuredMinimal& sm,
+                SwitchId s) {
   Row row(static_cast<std::size_t>(topo.num_switches()));
+  for (SwitchId d = 0; d < topo.num_switches(); ++d) {
+    row[idx(d)].push_back(compile_route(topo, sm.path(s, d), {}, 0, 0));
+  }
+  return row;
+}
+
+/// All-pairs BFS distance matrix (row-major, row = source switch), staged
+/// once per table build so the per-pair enumeration reuses rows instead of
+/// re-running a BFS per pair — the difference between minutes and seconds
+/// on dense low-diameter graphs.  Distances are canonical values, so any
+/// jobs value yields the same matrix.
+std::vector<int> all_pairs_distances(const Topology& topo, int jobs) {
+  const int n = topo.num_switches();
+  std::vector<std::vector<int>> rows = parallel_map<std::vector<int>>(
+      n, jobs,
+      [&](int s) { return topo.switch_distances_from(static_cast<SwitchId>(s)); });
+  std::vector<int> flat(idx(n) * idx(n));
+  for (int s = 0; s < n; ++s) {
+    std::copy(rows[idx(s)].begin(), rows[idx(s)].end(),
+              flat.begin() + idx(s) * idx(n));
+  }
+  return flat;
+}
+
+Row itb_row(const Topology& topo, const UpDown& ud,
+            const ItbBuildOptions& opts, SwitchId s,
+            const std::vector<int>& all_dist) {
+  const auto n = idx(topo.num_switches());
+  Row row(n);
   for (SwitchId d = 0; d < topo.num_switches(); ++d) {
     std::vector<Route>& alts = row[idx(d)];
     // Per-pair rotation of the DFS direction order: ITB-SP's pinned
@@ -90,8 +122,10 @@ Row itb_row(const Topology& topo, const UpDown& ud,
         (static_cast<std::uint64_t>(s) * 0x9e3779b9u +
          static_cast<std::uint64_t>(d) * 0x85ebca6bu) >>
         16);
-    const auto paths =
-        enumerate_minimal_paths(topo, s, d, opts.max_alternatives, rotation);
+    // Row d of the matrix = distances from d = distances to d (undirected).
+    const auto paths = enumerate_minimal_paths(
+        topo, s, d, opts.max_alternatives, rotation,
+        std::span<const int>(all_dist.data() + idx(d) * n, n));
     int alt_index = 0;
     for (const SwitchPath& p : paths) {
       const auto splits = itb_split_points(ud, p);
@@ -170,8 +204,16 @@ RouteSet build_updown_routes(const Topology& topo, const SimpleRoutes& sr,
 
 RouteSet build_itb_routes(const Topology& topo, const UpDown& ud,
                           ItbBuildOptions opts, int jobs) {
-  return build_flat(topo.num_switches(), RoutingAlgorithm::kItb, jobs,
-                    [&](SwitchId s) { return itb_row(topo, ud, opts, s); });
+  const std::vector<int> all_dist = all_pairs_distances(topo, jobs);
+  return build_flat(
+      topo.num_switches(), RoutingAlgorithm::kItb, jobs,
+      [&](SwitchId s) { return itb_row(topo, ud, opts, s, all_dist); });
+}
+
+RouteSet build_minimal_routes(const Topology& topo, int jobs) {
+  const StructuredMinimal sm(topo);
+  return build_flat(topo.num_switches(), RoutingAlgorithm::kMinimal, jobs,
+                    [&](SwitchId s) { return minimal_row(topo, sm, s); });
 }
 
 NestedRouteTable build_updown_routes_nested(const Topology& topo,
@@ -189,9 +231,22 @@ NestedRouteTable build_updown_routes_nested(const Topology& topo,
 NestedRouteTable build_itb_routes_nested(const Topology& topo,
                                          const UpDown& ud,
                                          ItbBuildOptions opts) {
+  const std::vector<int> all_dist = all_pairs_distances(topo, 1);
   NestedRouteTable rs(topo.num_switches(), RoutingAlgorithm::kItb);
   for (SwitchId s = 0; s < topo.num_switches(); ++s) {
-    Row row = itb_row(topo, ud, opts, s);
+    Row row = itb_row(topo, ud, opts, s, all_dist);
+    for (SwitchId d = 0; d < topo.num_switches(); ++d) {
+      rs.mutable_alternatives(s, d) = std::move(row[idx(d)]);
+    }
+  }
+  return rs;
+}
+
+NestedRouteTable build_minimal_routes_nested(const Topology& topo) {
+  const StructuredMinimal sm(topo);
+  NestedRouteTable rs(topo.num_switches(), RoutingAlgorithm::kMinimal);
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    Row row = minimal_row(topo, sm, s);
     for (SwitchId d = 0; d < topo.num_switches(); ++d) {
       rs.mutable_alternatives(s, d) = std::move(row[idx(d)]);
     }

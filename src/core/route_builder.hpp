@@ -52,12 +52,22 @@ struct ItbBuildOptions {
                                         ItbBuildOptions opts = {},
                                         int jobs = 1);
 
+/// Structured-minimal baseline (route/topo_minimal.hpp): the canonical
+/// minimal route per pair — dimension-order on HyperX, l-g-l on Dragonfly,
+/// direct on full mesh — as single-leg routes with no in-transit hosts.
+/// Requires a structured topology (has_structured_minimal); throws
+/// std::invalid_argument otherwise.  `jobs` as in build_updown_routes.
+[[nodiscard]] RouteSet build_minimal_routes(const Topology& topo,
+                                            int jobs = 1);
+
 /// Legacy nested staging tables (differential tests, bench A/B).  Same
 /// route values as the flat builders, serial construction.
 [[nodiscard]] NestedRouteTable build_updown_routes_nested(
     const Topology& topo, const SimpleRoutes& sr);
 [[nodiscard]] NestedRouteTable build_itb_routes_nested(
     const Topology& topo, const UpDown& ud, ItbBuildOptions opts = {});
+[[nodiscard]] NestedRouteTable build_minimal_routes_nested(
+    const Topology& topo);
 
 /// Helper shared by both builders: lowers a switch-level path (plus split
 /// points for ITB legs) into a runtime Route with concrete ports and

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "core/route_builder.hpp"
+#include "route/topo_minimal.hpp"
 
 namespace itb {
 
@@ -18,6 +19,7 @@ const char* to_string(RoutingScheme s) {
     case RoutingScheme::kItbRr: return "ITB-RR";
     case RoutingScheme::kItbRnd: return "ITB-RND";
     case RoutingScheme::kItbAdapt: return "ITB-ADAPT";
+    case RoutingScheme::kMinimal: return "MIN";
   }
   return "?";
 }
@@ -25,6 +27,7 @@ const char* to_string(RoutingScheme s) {
 PathPolicy policy_of(RoutingScheme s) {
   switch (s) {
     case RoutingScheme::kUpDown:
+    case RoutingScheme::kMinimal:
     case RoutingScheme::kItbSp: return PathPolicy::kSingle;
     case RoutingScheme::kItbRr: return PathPolicy::kRoundRobin;
     case RoutingScheme::kItbRnd: return PathPolicy::kRandom;
@@ -35,15 +38,18 @@ PathPolicy policy_of(RoutingScheme s) {
 
 Testbed::Testbed(Topology topo, SwitchId root)
     : topo_(std::make_unique<Topology>(std::move(topo))),
-      updown_(std::make_unique<UpDown>(*topo_, root)) {}
+      updown_(std::make_unique<UpDown>(
+          *topo_, root == kAutoRoot ? select_updown_root(*topo_) : root)) {}
 
 Testbed::Testbed(Testbed&& other) noexcept
     : topo_(std::move(other.topo_)),
       updown_(std::move(other.updown_)),
       updown_routes_(std::move(other.updown_routes_)),
       itb_routes_(std::move(other.itb_routes_)),
+      minimal_routes_(std::move(other.minimal_routes_)),
       updown_gen_(other.updown_gen_),
-      itb_gen_(other.itb_gen_) {}
+      itb_gen_(other.itb_gen_),
+      minimal_gen_(other.minimal_gen_) {}
 
 Testbed& Testbed::operator=(Testbed&& other) noexcept {
   if (this != &other) {
@@ -51,8 +57,10 @@ Testbed& Testbed::operator=(Testbed&& other) noexcept {
     updown_ = std::move(other.updown_);
     updown_routes_ = std::move(other.updown_routes_);
     itb_routes_ = std::move(other.itb_routes_);
+    minimal_routes_ = std::move(other.minimal_routes_);
     updown_gen_ = other.updown_gen_;
     itb_gen_ = other.itb_gen_;
+    minimal_gen_ = other.minimal_gen_;
   }
   return *this;
 }
@@ -67,6 +75,14 @@ const RouteSet& Testbed::routes_with_jobs(RoutingScheme s, int jobs) const {
     }
     return *updown_routes_;
   }
+  if (s == RoutingScheme::kMinimal) {
+    if (!minimal_routes_) {
+      // Throws on generic topologies: MIN needs a structured shape.
+      minimal_routes_.emplace(build_minimal_routes(*topo_, jobs));
+      minimal_gen_ = ++g_table_generation;
+    }
+    return *minimal_routes_;
+  }
   if (!itb_routes_) {
     itb_routes_.emplace(build_itb_routes(*topo_, *updown_, {}, jobs));
     itb_gen_ = ++g_table_generation;
@@ -77,12 +93,15 @@ const RouteSet& Testbed::routes_with_jobs(RoutingScheme s, int jobs) const {
 std::uint64_t Testbed::table_generation(RoutingScheme s) const {
   (void)routes(s);  // ensure the table (and its id) exists
   std::lock_guard<std::mutex> lock(build_mu_);
-  return s == RoutingScheme::kUpDown ? updown_gen_ : itb_gen_;
+  if (s == RoutingScheme::kUpDown) return updown_gen_;
+  if (s == RoutingScheme::kMinimal) return minimal_gen_;
+  return itb_gen_;
 }
 
 void Testbed::warm_all(int jobs) const {
   warm(RoutingScheme::kUpDown, jobs);
   warm(RoutingScheme::kItbSp, jobs);  // shared by all ITB schemes
+  if (has_structured_minimal(topo())) warm(RoutingScheme::kMinimal, jobs);
 }
 
 }  // namespace itb

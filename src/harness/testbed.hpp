@@ -31,6 +31,8 @@ enum class RoutingScheme {
   kItbRr,     // "ITB-RR": same table, round-robin over alternatives
   kItbRnd,    // extension: random alternative per packet
   kItbAdapt,  // extension: latency-feedback adaptive selection
+  kMinimal,   // "MIN": structured minimal baseline (dimension-order /
+              // l-g-l / direct); only on structured topologies
 };
 
 [[nodiscard]] const char* to_string(RoutingScheme s);
@@ -39,7 +41,10 @@ enum class RoutingScheme {
 class Testbed {
  public:
   /// Takes ownership of the topology; `root` is the up*/down* root switch
-  /// (the paper's torus uses the top-left switch, id 0).
+  /// (the paper's torus uses the top-left switch, id 0).  Pass kAutoRoot
+  /// (route/updown.hpp) to let select_updown_root pick a pseudo-center —
+  /// the right default for the dense low-diameter topologies, where a
+  /// corner root needlessly deepens the tree.
   explicit Testbed(Topology topo, SwitchId root = 0);
 
   // Movable (fresh mutex on the destination); moving is only safe before
@@ -71,7 +76,8 @@ class Testbed {
     (void)routes_with_jobs(s, jobs);
   }
 
-  /// Pre-build both tables (up*/down* and the shared ITB table).
+  /// Pre-build every table this topology supports: up*/down*, the shared
+  /// ITB table, and — on structured topologies only — the MIN table.
   void warm_all(int jobs = 1) const;
 
   /// Process-unique, monotonically assigned id of the table `routes(s)`
@@ -90,8 +96,10 @@ class Testbed {
   mutable std::mutex build_mu_;
   mutable std::optional<RouteSet> updown_routes_;
   mutable std::optional<RouteSet> itb_routes_;
+  mutable std::optional<RouteSet> minimal_routes_;
   mutable std::uint64_t updown_gen_ = 0;  // assigned when the table is built
   mutable std::uint64_t itb_gen_ = 0;
+  mutable std::uint64_t minimal_gen_ = 0;
 };
 
 }  // namespace itb

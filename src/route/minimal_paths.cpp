@@ -10,14 +10,23 @@ std::vector<SwitchPath> enumerate_minimal_paths(const Topology& topo,
                                                 SwitchId s, SwitchId d,
                                                 int max_paths,
                                                 unsigned port_rotation) {
+  // Distances *to* d (the graph is undirected, so distances from d serve).
+  const std::vector<int> dist = topo.switch_distances_from(d);
+  return enumerate_minimal_paths(topo, s, d, max_paths, port_rotation,
+                                 std::span<const int>(dist));
+}
+
+std::vector<SwitchPath> enumerate_minimal_paths(const Topology& topo,
+                                                SwitchId s, SwitchId d,
+                                                int max_paths,
+                                                unsigned port_rotation,
+                                                std::span<const int> dist_to_d) {
   std::vector<SwitchPath> out;
   if (max_paths <= 0) return out;
   if (s == d) {
     out.push_back(SwitchPath{{s}, {}});
     return out;
   }
-  // Distances *to* d (the graph is undirected, so distances from d serve).
-  const std::vector<int> dist_to_d = topo.switch_distances_from(d);
   if (dist_to_d[idx(s)] < 0) return out;
 
   SwitchPath cur;

@@ -4,6 +4,7 @@
 // per source-destination pair at 10 to bound NIC table size.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "route/switch_path.hpp"
@@ -24,6 +25,17 @@ namespace itb {
 [[nodiscard]] std::vector<SwitchPath> enumerate_minimal_paths(
     const Topology& topo, SwitchId s, SwitchId d, int max_paths,
     unsigned port_rotation = 0);
+
+/// Same enumeration, but with the BFS distances *to d* supplied by the
+/// caller (`dist_to_d[u]` = hop distance from u to d; the graph is
+/// undirected, so Topology::switch_distances_from(d) serves).  The large
+/// table builds pass rows of a precomputed all-pairs matrix here so the
+/// per-pair BFS — which dwarfs the DFS on dense low-diameter graphs —
+/// happens once per destination instead of once per pair.  The emitted
+/// paths and their order are identical to the overload above.
+[[nodiscard]] std::vector<SwitchPath> enumerate_minimal_paths(
+    const Topology& topo, SwitchId s, SwitchId d, int max_paths,
+    unsigned port_rotation, std::span<const int> dist_to_d);
 
 /// Count of minimal paths from s to d, saturating at `cap` (the DFS stops
 /// once `cap` paths are found).

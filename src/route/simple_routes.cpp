@@ -19,12 +19,16 @@ SimpleRoutes::SimpleRoutes(const Topology& topo, const UpDown& ud,
   routes_.resize(n * n);
   weight_.assign(idx(topo.num_channels()), 0);
 
-  // Candidate sets per ordered pair.
+  // Candidate sets per ordered pair.  The product-graph BFS is per source,
+  // not per pair: one state_distances_from(s) serves every destination of
+  // s, which is what keeps dense low-diameter graphs (degree ~ switches)
+  // tractable.  Candidates are unchanged from the per-pair form.
   std::vector<std::vector<SwitchPath>> candidates(n * n);
   for (SwitchId s = 0; s < num_switches_; ++s) {
+    const auto state_dist = ud.state_distances_from(s);
     for (SwitchId d = 0; d < num_switches_; ++d) {
       candidates[key(s, d)] =
-          ud.shortest_legal_paths(s, d, opts.max_candidates);
+          ud.shortest_legal_paths(s, d, opts.max_candidates, state_dist);
       if (candidates[key(s, d)].empty()) {
         throw std::runtime_error("SimpleRoutes: pair unreachable");
       }

@@ -1,0 +1,172 @@
+#include "route/topo_minimal.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace itb {
+
+namespace {
+std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+bool has_structured_minimal(const Topology& topo) {
+  switch (topo.shape().kind) {
+    case TopoKind::kHyperX:
+    case TopoKind::kDragonfly:
+    case TopoKind::kFullMesh: return true;
+    case TopoKind::kGeneric: return false;
+  }
+  return false;
+}
+
+StructuredMinimal::StructuredMinimal(const Topology& topo)
+    : topo_(&topo), kind_(topo.shape().kind) {
+  const TopoShape& shape = topo.shape();
+  switch (kind_) {
+    case TopoKind::kHyperX: {
+      // params: {L, S_1..S_L, hosts_per_switch}
+      if (shape.params.size() < 2 ||
+          shape.params.size() != idx(shape.params[0]) + 2) {
+        throw std::invalid_argument("StructuredMinimal: bad hyperx params");
+      }
+      const int dims = shape.params[0];
+      std::int64_t count = 1;
+      dims_.assign(shape.params.begin() + 1, shape.params.begin() + 1 + dims);
+      stride_.assign(idx(dims), 1);
+      for (int d = 0; d < dims; ++d) {
+        if (dims_[idx(d)] < 1) {
+          throw std::invalid_argument("StructuredMinimal: bad hyperx extent");
+        }
+        if (d > 0) stride_[idx(d)] = stride_[idx(d - 1)] * dims_[idx(d - 1)];
+        count *= dims_[idx(d)];
+      }
+      if (count != topo.num_switches()) {
+        throw std::invalid_argument(
+            "StructuredMinimal: hyperx shape names " + std::to_string(count) +
+            " switches, topology has " + std::to_string(topo.num_switches()));
+      }
+      break;
+    }
+    case TopoKind::kDragonfly: {
+      // params: {a, p, h, arrangement}
+      if (shape.params.size() != 4) {
+        throw std::invalid_argument("StructuredMinimal: bad dragonfly params");
+      }
+      dfly_a_ = shape.params[0];
+      const int h = shape.params[2];
+      if (dfly_a_ < 2 || h < 1) {
+        throw std::invalid_argument("StructuredMinimal: bad dragonfly a/h");
+      }
+      dfly_groups_ = dfly_a_ * h + 1;
+      if (static_cast<std::int64_t>(dfly_groups_) * dfly_a_ !=
+          topo.num_switches()) {
+        throw std::invalid_argument(
+            "StructuredMinimal: dragonfly shape disagrees with switch count");
+      }
+      // One pass over the cables recovers which switch of each group owns
+      // the global cable to each other group — the only fact l-g-l needs.
+      const int G = dfly_groups_;
+      global_exit_.assign(idx(G) * idx(G), kNoSwitch);
+      for (CableId c = 0; c < topo.num_cables(); ++c) {
+        const Cable& cb = topo.cable(c);
+        if (cb.to_host()) continue;
+        const int ga = cb.a.sw / dfly_a_;
+        const int gb = cb.b.sw / dfly_a_;
+        if (ga == gb) continue;
+        SwitchId& slot_ab = global_exit_[idx(ga) * idx(G) + idx(gb)];
+        SwitchId& slot_ba = global_exit_[idx(gb) * idx(G) + idx(ga)];
+        if (slot_ab != kNoSwitch || slot_ba != kNoSwitch) {
+          throw std::invalid_argument(
+              "StructuredMinimal: duplicate global cable between groups " +
+              std::to_string(ga) + " and " + std::to_string(gb));
+        }
+        slot_ab = cb.a.sw;
+        slot_ba = cb.b.sw;
+      }
+      for (int g1 = 0; g1 < G; ++g1) {
+        for (int g2 = 0; g2 < G; ++g2) {
+          if (g1 != g2 && global_exit_[idx(g1) * idx(G) + idx(g2)] == kNoSwitch) {
+            throw std::invalid_argument(
+                "StructuredMinimal: groups " + std::to_string(g1) + " and " +
+                std::to_string(g2) + " share no global cable");
+          }
+        }
+      }
+      break;
+    }
+    case TopoKind::kFullMesh:
+      if (shape.params.size() != 2 || shape.params[0] != topo.num_switches()) {
+        throw std::invalid_argument("StructuredMinimal: bad fullmesh params");
+      }
+      break;
+    case TopoKind::kGeneric:
+      throw std::invalid_argument(
+          "StructuredMinimal: topology '" + topo.name() +
+          "' carries no structured shape (TopoKind::kGeneric)");
+  }
+}
+
+void StructuredMinimal::append_hop(SwitchPath& p, SwitchId v) const {
+  const SwitchId u = p.dst();
+  for (PortId port = 0; port < topo_->ports_per_switch(); ++port) {
+    const PortPeer& e = topo_->peer(u, port);
+    if (e.kind == PeerKind::kSwitch && e.sw == v) {
+      p.cable.push_back(e.cable);
+      p.sw.push_back(v);
+      return;
+    }
+  }
+  throw std::invalid_argument("StructuredMinimal: switches " +
+                              std::to_string(u) + " and " + std::to_string(v) +
+                              " are not adjacent as the shape promises");
+}
+
+SwitchPath StructuredMinimal::hyperx_path(SwitchId s, SwitchId d) const {
+  SwitchPath p;
+  p.sw.push_back(s);
+  SwitchId cur = s;
+  for (std::size_t dim = 0; dim < dims_.size(); ++dim) {
+    const int cd = (cur / stride_[dim]) % dims_[dim];
+    const int dd = (d / stride_[dim]) % dims_[dim];
+    if (cd == dd) continue;
+    const SwitchId next = cur + (dd - cd) * stride_[dim];
+    append_hop(p, next);
+    cur = next;
+  }
+  return p;
+}
+
+SwitchPath StructuredMinimal::dragonfly_path(SwitchId s, SwitchId d) const {
+  SwitchPath p;
+  p.sw.push_back(s);
+  const int gs = s / dfly_a_;
+  const int gd = d / dfly_a_;
+  if (gs == gd) {
+    if (s != d) append_hop(p, d);  // intra-group full mesh: one local hop
+    return p;
+  }
+  const SwitchId exit = global_exit_[idx(gs) * idx(dfly_groups_) + idx(gd)];
+  const SwitchId entry = global_exit_[idx(gd) * idx(dfly_groups_) + idx(gs)];
+  if (s != exit) append_hop(p, exit);   // l: reach the global cable
+  append_hop(p, entry);                 // g: cross it
+  if (entry != d) append_hop(p, d);     // l: fan out in the target group
+  return p;
+}
+
+SwitchPath StructuredMinimal::path(SwitchId s, SwitchId d) const {
+  if (s == d) return SwitchPath{{s}, {}};
+  switch (kind_) {
+    case TopoKind::kHyperX: return hyperx_path(s, d);
+    case TopoKind::kDragonfly: return dragonfly_path(s, d);
+    case TopoKind::kFullMesh: {
+      SwitchPath p;
+      p.sw.push_back(s);
+      append_hop(p, d);
+      return p;
+    }
+    case TopoKind::kGeneric: break;
+  }
+  throw std::invalid_argument("StructuredMinimal: unsupported kind");
+}
+
+}  // namespace itb

@@ -1,0 +1,62 @@
+// Structured minimal source routes for the low-diameter families.
+//
+// The generic ITB machinery discovers minimal paths by search; the
+// low-diameter generators (topo/generators.hpp) additionally promise enough
+// structure to pick ONE canonical minimal path per pair without search:
+//
+//  * HyperX: dimension-order routing — fix coordinates in dimension order
+//    0..L-1, one clique hop per differing coordinate.  The channel
+//    dependency graph is acyclic across the fixed dimension order, so these
+//    routes are deadlock-free without virtual channels.
+//  * Dragonfly: minimal l-g-l — at most one local hop to the switch owning
+//    the global cable towards the destination group, the global hop, then
+//    at most one local hop.  Minimal, but NOT deadlock-free without VCs
+//    (the classic l-g-l cycle) — this is exactly the baseline the ITB
+//    schemes fix, so checked runs of MIN-dragonfly may legitimately report
+//    watchdog violations.
+//  * Full mesh: the direct single hop, trivially deadlock-free.
+//
+// Construction keys off Topology::shape(); the port tables remain the
+// source of truth (cables are found by adjacency, never by assumed port
+// numbers), so a generator change that breaks the promised structure makes
+// this throw rather than emit wrong routes.
+#pragma once
+
+#include "route/switch_path.hpp"
+#include "topo/topology.hpp"
+
+namespace itb {
+
+/// True when `topo` carries a shape this router understands (HyperX,
+/// Dragonfly or full mesh stamped by its generator or a `shape` directive).
+[[nodiscard]] bool has_structured_minimal(const Topology& topo);
+
+/// Canonical-minimal path oracle for one topology.  Immutable and
+/// internally precomputed (Dragonfly group-pair cable table), so one
+/// instance serves concurrent per-source route builds.
+class StructuredMinimal {
+ public:
+  /// Throws std::invalid_argument when has_structured_minimal() is false
+  /// or the wiring contradicts the declared shape.
+  explicit StructuredMinimal(const Topology& topo);
+
+  /// The canonical minimal path for (s, d); s == d yields the trivial path.
+  [[nodiscard]] SwitchPath path(SwitchId s, SwitchId d) const;
+
+ private:
+  [[nodiscard]] SwitchPath hyperx_path(SwitchId s, SwitchId d) const;
+  [[nodiscard]] SwitchPath dragonfly_path(SwitchId s, SwitchId d) const;
+
+  /// Append the hop u -> v (which must be directly cabled) to `p`.
+  void append_hop(SwitchPath& p, SwitchId v) const;
+
+  const Topology* topo_;
+  TopoKind kind_;
+  std::vector<int> dims_;     // HyperX: S_1..S_L
+  std::vector<int> stride_;   // HyperX: mixed-radix strides
+  int dfly_a_ = 0;            // Dragonfly: switches per group
+  int dfly_groups_ = 0;       // Dragonfly: G = a*h + 1
+  std::vector<SwitchId> global_exit_;  // [g1 * G + g2] = switch of g1 cabled to g2
+};
+
+}  // namespace itb

@@ -11,6 +11,35 @@ namespace {
 std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
 }  // namespace
 
+SwitchId select_updown_root(const Topology& topo) {
+  const auto far_from = [&](SwitchId start) {
+    const auto dist = topo.switch_distances_from(start);
+    SwitchId far = start;
+    for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+      if (dist[idx(s)] > dist[idx(far)]) far = s;  // first max wins (low id)
+    }
+    return far;
+  };
+  const SwitchId u = far_from(0);
+  const SwitchId v = far_from(u);
+  const auto du = topo.switch_distances_from(u);
+  const auto dv = topo.switch_distances_from(v);
+  SwitchId best = 0;
+  int best_ecc = -1;
+  int best_deg = -1;
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    const int ecc = std::max(du[idx(s)], dv[idx(s)]);
+    const int deg = topo.switch_degree(s);
+    if (best_ecc < 0 || ecc < best_ecc ||
+        (ecc == best_ecc && deg > best_deg)) {
+      best = s;
+      best_ecc = ecc;
+      best_deg = deg;
+    }
+  }
+  return best;
+}
+
 UpDown::UpDown(const Topology& topo, SwitchId root)
     : topo_(&topo), root_(root) {
   level_ = topo.switch_distances_from(root);
@@ -97,13 +126,21 @@ std::vector<int> UpDown::legal_distances_from(SwitchId s) const {
 
 std::vector<SwitchPath> UpDown::shortest_legal_paths(SwitchId s, SwitchId d,
                                                      int max_paths) const {
+  if (max_paths <= 0 || s == d) {
+    return shortest_legal_paths(s, d, max_paths, {});
+  }
+  return shortest_legal_paths(s, d, max_paths, state_distances_from(s));
+}
+
+std::vector<SwitchPath> UpDown::shortest_legal_paths(
+    SwitchId s, SwitchId d, int max_paths,
+    const std::vector<int>& dist) const {
   std::vector<SwitchPath> out;
   if (max_paths <= 0) return out;
   if (s == d) {
     out.push_back(SwitchPath{{s}, {}});
     return out;
   }
-  const auto dist = state_distances_from(s);
   const int da = dist[idx(2 * d)];
   const int db = dist[idx(2 * d + 1)];
   if (da < 0 && db < 0) return out;

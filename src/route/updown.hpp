@@ -18,6 +18,20 @@
 
 namespace itb {
 
+/// Deterministic root choice for up*/down* on arbitrary topologies: a
+/// double-sweep pseudo-center.  BFS from switch 0 finds a far switch u,
+/// BFS from u finds the far pair endpoint v; the root is the switch
+/// minimising max(dist_u, dist_v) — ties broken by higher switch degree,
+/// then lower id.  On the paper's torus this is interior (roots at corners
+/// concentrate "down" traffic); on dense low-diameter graphs most switches
+/// tie and the low-id rule keeps the choice stable.  Purely a function of
+/// the topology, so tables built from it stay reproducible.
+[[nodiscard]] SwitchId select_updown_root(const Topology& topo);
+
+/// Sentinel for Testbed and CLI layers: "pick the root for me" via
+/// select_updown_root.
+inline constexpr SwitchId kAutoRoot = -2;
+
 class UpDown {
  public:
   /// Orients all switch-to-switch cables of `topo` from the given root.
@@ -56,14 +70,24 @@ class UpDown {
   [[nodiscard]] std::vector<SwitchPath> shortest_legal_paths(
       SwitchId s, SwitchId d, int max_paths) const;
 
+  /// Same, with the product-graph distances from `s` supplied by the caller
+  /// (a state_distances_from(s) result).  Per-source consumers — the
+  /// simple_routes placement enumerates candidates for every destination of
+  /// one source — hoist the BFS this way; emitted paths and order are
+  /// identical to the overload above.
+  [[nodiscard]] std::vector<SwitchPath> shortest_legal_paths(
+      SwitchId s, SwitchId d, int max_paths,
+      const std::vector<int>& state_dist) const;
+
   /// All shortest legal distances from `s` (index = destination switch).
   [[nodiscard]] std::vector<int> legal_distances_from(SwitchId s) const;
 
- private:
-  // BFS over the (switch, phase) product graph; phase 0 = may still go up,
-  // phase 1 = has gone down.  Returns 2*num_switches distances.
+  /// BFS over the (switch, phase) product graph; phase 0 = may still go up,
+  /// phase 1 = has gone down.  Returns 2*num_switches distances, indexed by
+  /// 2*switch + phase.  Exposed for per-source hoisting (see above).
   [[nodiscard]] std::vector<int> state_distances_from(SwitchId s) const;
 
+ private:
   const Topology* topo_;
   SwitchId root_;
   std::vector<int> level_;        // per switch

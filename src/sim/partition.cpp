@@ -27,8 +27,14 @@ PartitionPlan make_contiguous_plan(const Topology& topo,
         plan.lane_of_switch(topo.host(h).sw);
   }
 
+  plan.lane_switches.assign(static_cast<std::size_t>(plan.shards), 0);
+  for (SwitchId s = 0; s < switches; ++s) {
+    ++plan.lane_switches[static_cast<std::size_t>(plan.lane_of_switch(s))];
+  }
+
   plan.ch_send_lane.assign(static_cast<std::size_t>(topo.num_channels()), 0);
   plan.ch_recv_lane.assign(static_cast<std::size_t>(topo.num_channels()), 0);
+  plan.lane_cut_channels.assign(static_cast<std::size_t>(plan.shards), 0);
   TimePs min_cut = kTimeNever;   // over cut cables only
   TimePs min_all = kTimeNever;   // fallback when nothing is cut
   for (CableId c = 0; c < topo.num_cables(); ++c) {
@@ -48,6 +54,8 @@ PartitionPlan make_contiguous_plan(const Topology& topo,
     if (a_lane != b_lane) {
       assert(!cb.to_host());
       plan.boundary_channels += 2;
+      plan.lane_cut_channels[static_cast<std::size_t>(a_lane)] += 2;
+      plan.lane_cut_channels[static_cast<std::size_t>(b_lane)] += 2;
       min_cut = std::min(min_cut, prop);
     }
   }

@@ -49,6 +49,14 @@ struct PartitionPlan {
   /// every cut cable).
   int boundary_channels = 0;
 
+  /// Per-lane observability, sized `shards`.  Dense low-diameter graphs cut
+  /// most cables (a full mesh cuts all but the intra-block ones), so cut
+  /// degree varies wildly between lanes; nothing in the engine is sized by
+  /// these counts — mailboxes are per lane *pair* — but plan tests assert
+  /// their consistency and the bench reports them.
+  std::vector<int> lane_switches;      // switches owned by each lane
+  std::vector<int> lane_cut_channels;  // boundary halves incident to each lane
+
   [[nodiscard]] std::int16_t lane_of_switch(std::int32_t s) const {
     return switch_lane[static_cast<std::size_t>(s)];
   }

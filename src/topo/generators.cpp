@@ -45,7 +45,8 @@ Topology make_torus_2d_express(int rows, int cols, int hosts_per_switch,
   if (rows < 5 || cols < 5) {
     throw std::invalid_argument(
         "make_torus_2d_express: rows/cols must be >= 5 so express and "
-        "regular neighbours are distinct");
+        "regular neighbours are distinct (got rows=" + std::to_string(rows) +
+        ", cols=" + std::to_string(cols) + ")");
   }
   Topology t(rows * cols, ports_per_switch,
              "torus-express-" + std::to_string(rows) + "x" +
@@ -193,6 +194,198 @@ Topology make_mesh_2d(int rows, int cols, int hosts_per_switch,
     }
   }
   attach_all_hosts(t, hosts_per_switch);
+  return t;
+}
+
+Topology make_hyperx(const std::vector<int>& S, int hosts_per_switch,
+                     int ports_per_switch) {
+  if (S.empty()) {
+    throw std::invalid_argument("make_hyperx: need at least one dimension");
+  }
+  if (hosts_per_switch < 0) {
+    throw std::invalid_argument("make_hyperx: hosts_per_switch must be >= 0 (got " +
+                                std::to_string(hosts_per_switch) + ")");
+  }
+  std::int64_t count = 1;
+  int degree = 0;
+  for (std::size_t d = 0; d < S.size(); ++d) {
+    if (S[d] < 1) {
+      throw std::invalid_argument("make_hyperx: S[" + std::to_string(d) +
+                                  "] must be >= 1 (got " +
+                                  std::to_string(S[d]) + ")");
+    }
+    count *= S[d];
+    degree += S[d] - 1;
+    if (count > 65536) {
+      throw std::invalid_argument("make_hyperx: too many switches");
+    }
+  }
+  if (count < 2) {
+    throw std::invalid_argument("make_hyperx: degenerate shape (1 switch)");
+  }
+  const int need = degree + hosts_per_switch;
+  if (ports_per_switch == 0) ports_per_switch = need;
+  if (ports_per_switch < need) {
+    throw std::invalid_argument(
+        "make_hyperx: ports_per_switch=" + std::to_string(ports_per_switch) +
+        " < degree+hosts=" + std::to_string(need));
+  }
+
+  std::string name = "hyperx-";
+  for (std::size_t d = 0; d < S.size(); ++d) {
+    if (d) name += "x";
+    name += std::to_string(S[d]);
+  }
+  const int switches = static_cast<int>(count);
+  Topology t(switches, ports_per_switch, name);
+
+  // Mixed-radix coordinates, dimension 0 fastest: stride[d] = prod(S_0..S_{d-1}).
+  const int dims = static_cast<int>(S.size());
+  std::vector<int> stride(S.size(), 1);
+  for (int d = 1; d < dims; ++d) {
+    stride[static_cast<std::size_t>(d)] =
+        stride[static_cast<std::size_t>(d - 1)] * S[static_cast<std::size_t>(d - 1)];
+  }
+  auto digit = [&](int s, int d) {
+    return (s / stride[static_cast<std::size_t>(d)]) % S[static_cast<std::size_t>(d)];
+  };
+  // Per dimension, each line of S_d co-aligned switches forms a clique;
+  // connect each switch to the higher digits only so every pair gets one cable.
+  for (int s = 0; s < switches; ++s) {
+    for (int d = 0; d < dims; ++d) {
+      const int dig = digit(s, d);
+      for (int j = dig + 1; j < S[static_cast<std::size_t>(d)]; ++j) {
+        t.connect_auto(s, s + (j - dig) * stride[static_cast<std::size_t>(d)]);
+      }
+    }
+    t.set_pos(s, digit(s, 0), dims > 1 ? digit(s, 1) : 0);
+  }
+  attach_all_hosts(t, hosts_per_switch);
+
+  TopoShape shape;
+  shape.kind = TopoKind::kHyperX;
+  shape.params.push_back(dims);
+  for (const int sk : S) shape.params.push_back(sk);
+  shape.params.push_back(hosts_per_switch);
+  t.set_shape(std::move(shape));
+  return t;
+}
+
+Topology make_dragonfly(int a, int p, int h,
+                        DragonflyArrangement arrangement,
+                        int ports_per_switch) {
+  if (a < 2) {
+    throw std::invalid_argument("make_dragonfly: a must be >= 2 (got " +
+                                std::to_string(a) + ")");
+  }
+  if (p < 0) {
+    throw std::invalid_argument("make_dragonfly: p must be >= 0 (got " +
+                                std::to_string(p) + ")");
+  }
+  if (h < 1) {
+    throw std::invalid_argument("make_dragonfly: h must be >= 1 (got " +
+                                std::to_string(h) + ")");
+  }
+  const int groups = a * h + 1;  // every group pair shares one global cable
+  const std::int64_t count = static_cast<std::int64_t>(groups) * a;
+  if (count > 65536) {
+    throw std::invalid_argument("make_dragonfly: too many switches");
+  }
+  const int need = (a - 1) + h + p;
+  if (ports_per_switch == 0) ports_per_switch = need;
+  if (ports_per_switch < need) {
+    throw std::invalid_argument(
+        "make_dragonfly: ports_per_switch=" + std::to_string(ports_per_switch) +
+        " < (a-1)+h+p=" + std::to_string(need));
+  }
+
+  std::string name = "dragonfly-" + std::to_string(a) + "-" +
+                     std::to_string(p) + "-" + std::to_string(h);
+  if (arrangement == DragonflyArrangement::kAbsolute) name += "-abs";
+  Topology t(static_cast<int>(count), ports_per_switch, name);
+
+  auto sw = [a](int g, int i) { return static_cast<SwitchId>(g * a + i); };
+
+  // Intra-group full mesh.
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 0; i < a; ++i) {
+      for (int j = i + 1; j < a; ++j) t.connect_auto(sw(g, i), sw(g, j));
+    }
+  }
+
+  // Global links: group g exposes a*h global slots, slot k owned by switch
+  // k/h.  Each of the G*(G-1)/2 group pairs gets exactly one cable.
+  const int slots = a * h;
+  if (arrangement == DragonflyArrangement::kPalmtree) {
+    // Slot k of group g reaches group (g - k - 1) mod G; the reverse link
+    // sits in slot G - 2 - k there, so each cable is created from the lower
+    // group id only.
+    for (int g = 0; g < groups; ++g) {
+      for (int k = 0; k < slots; ++k) {
+        const int peer = (g - k - 1 + groups) % groups;
+        if (g >= peer) continue;
+        const int peer_slot = groups - 2 - k;
+        t.connect_auto(sw(g, k / h), sw(peer, peer_slot / h));
+      }
+    }
+  } else {
+    // Absolute: pair (g1 < g2) uses slot g2-1 at g1 and slot g1 at g2.
+    for (int g1 = 0; g1 < groups; ++g1) {
+      for (int g2 = g1 + 1; g2 < groups; ++g2) {
+        t.connect_auto(sw(g1, (g2 - 1) / h), sw(g2, g1 / h));
+      }
+    }
+  }
+
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 0; i < a; ++i) t.set_pos(sw(g, i), g, i);
+  }
+  attach_all_hosts(t, p);
+
+  TopoShape shape;
+  shape.kind = TopoKind::kDragonfly;
+  shape.params = {a, p, h, static_cast<int>(arrangement)};
+  t.set_shape(std::move(shape));
+  return t;
+}
+
+Topology make_full_mesh(int num_switches, int hosts_per_switch,
+                        int ports_per_switch) {
+  if (num_switches < 2) {
+    throw std::invalid_argument("make_full_mesh: need >= 2 switches (got " +
+                                std::to_string(num_switches) + ")");
+  }
+  if (num_switches > 1024) {
+    throw std::invalid_argument("make_full_mesh: too many switches (got " +
+                                std::to_string(num_switches) + ")");
+  }
+  if (hosts_per_switch < 0) {
+    throw std::invalid_argument("make_full_mesh: hosts_per_switch must be >= 0");
+  }
+  const int need = (num_switches - 1) + hosts_per_switch;
+  if (ports_per_switch == 0) ports_per_switch = need;
+  if (ports_per_switch < need) {
+    throw std::invalid_argument(
+        "make_full_mesh: ports_per_switch=" + std::to_string(ports_per_switch) +
+        " < degree+hosts=" + std::to_string(need));
+  }
+  Topology t(num_switches, ports_per_switch,
+             "fullmesh-" + std::to_string(num_switches));
+  for (SwitchId i = 0; i < num_switches; ++i) {
+    for (SwitchId j = i + 1; j < num_switches; ++j) t.connect_auto(i, j);
+  }
+  // Square-ish grid layout for utilization maps.
+  int side = 1;
+  while (side * side < num_switches) ++side;
+  for (SwitchId s = 0; s < num_switches; ++s) {
+    t.set_pos(s, s % side, s / side);
+  }
+  attach_all_hosts(t, hosts_per_switch);
+
+  TopoShape shape;
+  shape.kind = TopoKind::kFullMesh;
+  shape.params = {num_switches, hosts_per_switch};
+  t.set_shape(std::move(shape));
   return t;
 }
 

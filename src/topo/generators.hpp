@@ -48,6 +48,39 @@ Topology make_kary_ncube(int k, int n, int hosts_per_switch,
 Topology make_mesh_2d(int rows, int cols, int hosts_per_switch,
                       int ports_per_switch = 16);
 
+/// L-dimensional HyperX (Ahn et al., SC'09): switches carry mixed-radix
+/// coordinates over the per-dimension sizes `S = {S_1..S_L}` and every pair
+/// of switches that differ in exactly one coordinate is directly cabled (a
+/// clique per dimension per line).  N = prod(S_k) switches, switch degree
+/// sum(S_k - 1), diameter = |{k : S_k > 1}| (one hop fixes one coordinate).
+/// `ports_per_switch == 0` sizes the switch exactly (degree + hosts).
+/// Dimension-order minimal source routes are deadlock-free without VCs.
+Topology make_hyperx(const std::vector<int>& S, int hosts_per_switch,
+                     int ports_per_switch = 0);
+
+/// Global-link arrangement for make_dragonfly: which group a given global
+/// port of a given group reaches (Camarero et al. nomenclature).
+enum class DragonflyArrangement : std::uint8_t {
+  kPalmtree = 0,  // slot k of group g reaches group (g - k - 1) mod G
+  kAbsolute = 1,  // pair (g1 < g2) uses slot g2-1 at g1 and slot g1 at g2
+};
+
+/// Canonical (maximal) Dragonfly (Kim et al., ISCA'08): `a` switches per
+/// group wired as a full mesh, `p` hosts per switch, `h` global ports per
+/// switch, G = a*h + 1 groups so every group pair is joined by exactly one
+/// global cable.  N = G*a switches, degree (a-1) + h, diameter 3
+/// (local, global, local).  Switch ids are g*a + i.  Minimal l-g-l routes
+/// can deadlock without VCs — the ITB schemes are the deadlock-free fix.
+Topology make_dragonfly(int a, int p, int h,
+                        DragonflyArrangement arrangement =
+                            DragonflyArrangement::kPalmtree,
+                        int ports_per_switch = 0);
+
+/// Full mesh K_n: every switch pair directly cabled.  Degree n-1,
+/// diameter 1; direct single-hop routes are trivially deadlock-free.
+Topology make_full_mesh(int num_switches, int hosts_per_switch,
+                        int ports_per_switch = 0);
+
 /// Random connected irregular network in the style of the authors' earlier
 /// NOW papers: each switch devotes at most `max_switch_ports` ports to other
 /// switches; cables are added uniformly at random subject to port limits and

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 namespace itb {
 
@@ -75,6 +76,22 @@ Topology parse_topology(std::istream& in) {
         throw TopologyParseError(lineno, "switches/ports must be positive");
       }
       topo.emplace(count, ports, name);
+    } else if (kind == "shape") {
+      if (!topo) throw TopologyParseError(lineno, "shape before switches");
+      if (tok.size() < 2) {
+        throw TopologyParseError(lineno,
+                                 "shape expects: shape <kind> [params...]");
+      }
+      const auto k = topo_kind_from_string(tok[1]);
+      if (!k) {
+        throw TopologyParseError(lineno, "unknown shape kind '" + tok[1] + "'");
+      }
+      TopoShape shape;
+      shape.kind = *k;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        shape.params.push_back(parse_int(tok[i], lineno, "shape param"));
+      }
+      topo->set_shape(std::move(shape));
     } else if (kind == "cable") {
       if (!topo) throw TopologyParseError(lineno, "cable before switches");
       if (tok.size() != 5 && tok.size() != 6) {
@@ -145,6 +162,11 @@ std::string serialize_topology(const Topology& topo) {
   os << "topology " << topo.name() << "\n";
   os << "switches " << topo.num_switches() << " " << topo.ports_per_switch()
      << "\n";
+  if (topo.shape().kind != TopoKind::kGeneric) {
+    os << "shape " << to_string(topo.shape().kind);
+    for (const int p : topo.shape().params) os << " " << p;
+    os << "\n";
+  }
   for (CableId c = 0; c < topo.num_cables(); ++c) {
     const Cable& cb = topo.cable(c);
     if (cb.to_host()) continue;  // emitted as host lines below, in order

@@ -7,12 +7,15 @@
 //
 //   topology <name>
 //   switches <count> <ports-per-switch>
+//   shape <kind> [params...]
 //   cable <switch-a> <port-a> <switch-b> <port-b> [length-m]
 //   host <switch> <port> [length-m]
 //   pos <switch> <x> <y>
 //
-// `switches` must precede any cable/host/pos line.  Hosts are numbered in
-// file order (matching Topology's dense ids).
+// `switches` must precede any shape/cable/host/pos line.  Hosts are numbered
+// in file order (matching Topology's dense ids).  `shape` records generator
+// metadata (TopoShape) so structured-topology routing survives a file
+// round-trip; it never changes the wiring.
 #pragma once
 
 #include <iosfwd>

@@ -11,6 +11,24 @@ namespace {
 std::size_t idx(std::int64_t v) { return static_cast<std::size_t>(v); }
 }  // namespace
 
+const char* to_string(TopoKind k) {
+  switch (k) {
+    case TopoKind::kGeneric: return "generic";
+    case TopoKind::kHyperX: return "hyperx";
+    case TopoKind::kDragonfly: return "dragonfly";
+    case TopoKind::kFullMesh: return "fullmesh";
+  }
+  return "?";
+}
+
+std::optional<TopoKind> topo_kind_from_string(const std::string& name) {
+  if (name == "generic") return TopoKind::kGeneric;
+  if (name == "hyperx") return TopoKind::kHyperX;
+  if (name == "dragonfly") return TopoKind::kDragonfly;
+  if (name == "fullmesh") return TopoKind::kFullMesh;
+  return std::nullopt;
+}
+
 Topology::Topology(int num_switches, int ports_per_switch, std::string name)
     : name_(std::move(name)), ports_per_switch_(ports_per_switch) {
   if (num_switches <= 0 || ports_per_switch <= 0) {

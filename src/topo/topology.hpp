@@ -8,8 +8,10 @@
 //    in Myrinet, so the port-level detail is load-bearing, not cosmetic.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "topo/types.hpp"
@@ -57,6 +59,32 @@ struct SwitchPos {
   int y = 0;
 };
 
+/// Families whose construction parameters routing can exploit (the minimal
+/// source-route builders in route/topo_minimal.hpp key off this).  kGeneric
+/// means "no structural promise beyond the port tables".
+enum class TopoKind : std::uint8_t {
+  kGeneric = 0,
+  kHyperX,     // params: {L, S_1..S_L, hosts_per_switch}
+  kDragonfly,  // params: {a, p, h, arrangement (0 palmtree, 1 absolute)}
+  kFullMesh,   // params: {num_switches, hosts_per_switch}
+};
+
+[[nodiscard]] const char* to_string(TopoKind k);
+/// Inverse of to_string; returns std::nullopt for unknown names.
+[[nodiscard]] std::optional<TopoKind> topo_kind_from_string(
+    const std::string& name);
+
+/// Construction metadata a generator stamps on its topology.  Purely
+/// descriptive: the port tables stay the single source of truth for what is
+/// wired where, and consumers must tolerate kGeneric (e.g. hand-written map
+/// files).  Serialised by topo/io as a `shape` directive so file round-trips
+/// keep it.
+struct TopoShape {
+  TopoKind kind = TopoKind::kGeneric;
+  std::vector<int> params;  // per-kind meaning documented on TopoKind
+  friend bool operator==(const TopoShape&, const TopoShape&) = default;
+};
+
 class Topology {
  public:
   /// Creates `num_switches` switches, each with `ports_per_switch` ports,
@@ -81,9 +109,13 @@ class Topology {
 
   void set_pos(SwitchId s, int x, int y);
 
+  /// Record the generator family and parameters (see TopoShape).
+  void set_shape(TopoShape shape) { shape_ = std::move(shape); }
+
   // -- queries ------------------------------------------------------------
 
   [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const TopoShape& shape() const { return shape_; }
   [[nodiscard]] int num_switches() const { return static_cast<int>(ports_.size()); }
   [[nodiscard]] int ports_per_switch() const { return ports_per_switch_; }
   [[nodiscard]] int num_hosts() const { return static_cast<int>(hosts_.size()); }
@@ -144,6 +176,7 @@ class Topology {
   PortPeer& peer_mut(SwitchId s, PortId p);
 
   std::string name_;
+  TopoShape shape_;
   int ports_per_switch_;
   std::vector<std::vector<PortPeer>> ports_;  // [switch][port]
   std::vector<Cable> cables_;

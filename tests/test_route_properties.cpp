@@ -34,10 +34,30 @@ std::vector<NamedTestbed> paper_testbeds() {
   return out;
 }
 
+/// The low-diameter frontier cells (PR 8): dense graphs where the
+/// up*/down* tree concentrates, so ITB splitting is exercised hard.  All
+/// auto-rooted, like the benches.
+std::vector<NamedTestbed> lowdiameter_testbeds() {
+  std::vector<NamedTestbed> out;
+  out.push_back({"hyperx4x4", Testbed(make_hyperx({4, 4}, 2), kAutoRoot)});
+  out.push_back(
+      {"dragonfly422", Testbed(make_dragonfly(4, 2, 2), kAutoRoot)});
+  out.push_back({"fullmesh16", Testbed(make_full_mesh(16, 2), kAutoRoot)});
+  return out;
+}
+
+std::vector<NamedTestbed> all_testbeds() {
+  std::vector<NamedTestbed> out = paper_testbeds();
+  for (NamedTestbed& t : lowdiameter_testbeds()) {
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 TEST(RouteProperties, ItbTablesVerifyCleanOnEveryTestbed) {
-  for (const NamedTestbed& t : paper_testbeds()) {
+  for (const NamedTestbed& t : all_testbeds()) {
     const RouteSet& routes = t.tb.routes(RoutingScheme::kItbSp);
-    // Strict mode: the paper testbeds all have hosts on every switch, so
+    // Strict mode: these testbeds all have hosts on every switch, so
     // the legal-shortest fallback must never be needed — every route is
     // genuinely minimal.
     RouteVerifyOptions opts;
@@ -60,7 +80,7 @@ TEST(RouteProperties, ItbTablesVerifyCleanOnEveryTestbed) {
 TEST(RouteProperties, ItbSpAndItbRrShareOneVerifiedTable) {
   // ITB-SP and ITB-RR differ only in path policy: one verified table
   // covers both schemes by construction.
-  for (const NamedTestbed& t : paper_testbeds()) {
+  for (const NamedTestbed& t : all_testbeds()) {
     EXPECT_EQ(&t.tb.routes(RoutingScheme::kItbSp),
               &t.tb.routes(RoutingScheme::kItbRr))
         << t.name;
@@ -68,7 +88,7 @@ TEST(RouteProperties, ItbSpAndItbRrShareOneVerifiedTable) {
 }
 
 TEST(RouteProperties, UpDownTablesVerifyCleanOnEveryTestbed) {
-  for (const NamedTestbed& t : paper_testbeds()) {
+  for (const NamedTestbed& t : all_testbeds()) {
     const RouteVerifyReport rep = verify_route_set(
         t.tb.topo(), t.tb.updown(), t.tb.routes(RoutingScheme::kUpDown));
     EXPECT_TRUE(rep.ok()) << t.name << ": "
@@ -76,6 +96,56 @@ TEST(RouteProperties, UpDownTablesVerifyCleanOnEveryTestbed) {
                                   ? ""
                                   : rep.violations.front().detail);
   }
+}
+
+TEST(RouteProperties, MinimalTablesVerifyCleanOnLowDiameterTestbeds) {
+  // The kMinimal contract in check/route_verify: exactly one alternative
+  // per pair, no ITBs, hop count equal to the BFS distance.
+  for (const NamedTestbed& t : lowdiameter_testbeds()) {
+    const RouteSet& routes = t.tb.routes(RoutingScheme::kMinimal);
+    const RouteVerifyReport rep =
+        verify_route_set(t.tb.topo(), t.tb.updown(), routes);
+    EXPECT_TRUE(rep.ok()) << t.name << ": "
+                          << (rep.violations.empty()
+                                  ? ""
+                                  : rep.violations.front().detail);
+    const int n = t.tb.topo().num_switches();
+    EXPECT_EQ(rep.pairs_checked, static_cast<std::uint64_t>(n) * (n - 1))
+        << t.name;
+  }
+}
+
+TEST(RouteVerifierNegative, DetectsNonMinimalMinTable) {
+  // Stretch one MIN route by a detour: the kMinimal minimality check (not
+  // the up*/down* legality check, which MIN tables are exempt from) must
+  // fire.
+  const Testbed tb(make_full_mesh(8, 2), kAutoRoot);
+  NestedRouteTable routes =
+      tb.routes(RoutingScheme::kMinimal).materialize_nested();
+  auto& alts = routes.mutable_alternatives(0, 1);
+  ASSERT_EQ(alts.size(), 1u);
+  ASSERT_EQ(alts[0].total_switch_hops, 1);
+  const Route via2 = [&] {
+    // 0 -> 2 -> 1: both hops exist in a full mesh.
+    NestedRouteTable t2 =
+        tb.routes(RoutingScheme::kMinimal).materialize_nested();
+    Route r = t2.mutable_alternatives(0, 2)[0];
+    const Route& second = t2.mutable_alternatives(2, 1)[0];
+    r.legs[0].ports.insert(r.legs[0].ports.end(),
+                           second.legs[0].ports.begin(),
+                           second.legs[0].ports.end());
+    r.legs[0].switch_hops += second.legs[0].switch_hops;
+    r.total_switch_hops += second.total_switch_hops;
+    return r;
+  }();
+  alts[0] = via2;
+  // materialize_nested() preserves kMinimal, so the verifier stays in its
+  // minimal-table mode on the round trip.
+  const RouteSet flat(routes);
+  ASSERT_EQ(flat.algorithm(), RoutingAlgorithm::kMinimal);
+  const RouteVerifyReport rep =
+      verify_route_set(tb.topo(), tb.updown(), flat);
+  EXPECT_FALSE(rep.ok());
 }
 
 TEST(RouteProperties, AlternativesCappedAndDistinct) {

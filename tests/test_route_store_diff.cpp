@@ -32,6 +32,26 @@ std::vector<NamedTestbed> paper_testbeds() {
   return out;
 }
 
+/// Dense low-diameter graphs (PR 8): short routes, huge alternative
+/// fan-out, heavy segment sharing — the opposite corner of the store's
+/// input space from the sparse tori above.
+std::vector<NamedTestbed> lowdiameter_testbeds() {
+  std::vector<NamedTestbed> out;
+  out.push_back({"hyperx4x4", Testbed(make_hyperx({4, 4}, 2), kAutoRoot)});
+  out.push_back(
+      {"dragonfly422", Testbed(make_dragonfly(4, 2, 2), kAutoRoot)});
+  out.push_back({"fullmesh16", Testbed(make_full_mesh(16, 2), kAutoRoot)});
+  return out;
+}
+
+std::vector<NamedTestbed> all_testbeds() {
+  std::vector<NamedTestbed> out = paper_testbeds();
+  for (NamedTestbed& t : lowdiameter_testbeds()) {
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 /// Every (s,d) pair of `flat` materializes to exactly `nested`'s
 /// alternatives, same order, same content (Route has defaulted ==).
 void expect_tables_identical(const std::string& name,
@@ -54,7 +74,7 @@ void expect_tables_identical(const std::string& name,
 }
 
 TEST(RouteStoreDifferential, UpDownFlatMatchesNestedOnEveryTestbed) {
-  for (const NamedTestbed& t : paper_testbeds()) {
+  for (const NamedTestbed& t : all_testbeds()) {
     const SimpleRoutes sr(t.tb.topo(), t.tb.updown());
     const NestedRouteTable nested = build_updown_routes_nested(t.tb.topo(), sr);
     const RouteSet flat = build_updown_routes(t.tb.topo(), sr);
@@ -63,12 +83,33 @@ TEST(RouteStoreDifferential, UpDownFlatMatchesNestedOnEveryTestbed) {
 }
 
 TEST(RouteStoreDifferential, ItbFlatMatchesNestedOnEveryTestbed) {
-  for (const NamedTestbed& t : paper_testbeds()) {
+  for (const NamedTestbed& t : all_testbeds()) {
     const NestedRouteTable nested =
         build_itb_routes_nested(t.tb.topo(), t.tb.updown());
     const RouteSet flat = build_itb_routes(t.tb.topo(), t.tb.updown());
     expect_tables_identical(t.name, nested, flat);
   }
+}
+
+TEST(RouteStoreDifferential, MinimalFlatMatchesNestedOnLowDiameter) {
+  for (const NamedTestbed& t : lowdiameter_testbeds()) {
+    const NestedRouteTable nested = build_minimal_routes_nested(t.tb.topo());
+    const RouteSet flat = build_minimal_routes(t.tb.topo());
+    EXPECT_EQ(flat.algorithm(), RoutingAlgorithm::kMinimal) << t.name;
+    expect_tables_identical(t.name, nested, flat);
+  }
+}
+
+TEST(RouteStoreDedup, DenseGraphSharesSegmentsAndRoundTrips) {
+  // On a full mesh every route is one hop, so the port pool should intern
+  // aggressively; the round trip through materialize_nested must still be
+  // loss-free.
+  const Testbed tb(make_full_mesh(16, 2), kAutoRoot);
+  const RouteSet& flat = tb.routes(RoutingScheme::kItbSp);
+  EXPECT_GT(flat.segments_shared(), 0u);
+  const RouteSet again(flat.materialize_nested());
+  EXPECT_EQ(flat.table_bytes(), again.table_bytes());
+  EXPECT_EQ(flat.store().num_routes(), again.store().num_routes());
 }
 
 TEST(RouteStoreDifferential, MaterializeNestedRoundTrips) {

@@ -83,6 +83,34 @@ TEST(RouteStoreParallelBuild, IrregularTopologyIdenticalAcrossJobCounts) {
   }
 }
 
+TEST(RouteStoreParallelBuild, DenseLowDiameterIdenticalAcrossJobCounts) {
+  // Dense adjacency stresses the row builders differently than the paper's
+  // sparse tori: many equal-length candidates per pair (alternative
+  // selection order must not depend on thread schedule) and, for MIN, the
+  // structured oracle shared across all workers.
+  struct Case {
+    std::string name;
+    Topology topo;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"hyperx", make_hyperx({4, 4}, 2)});
+  cases.push_back({"dragonfly", make_dragonfly(4, 2, 2)});
+  cases.push_back({"fullmesh", make_full_mesh(16, 2)});
+  for (const Case& c : cases) {
+    const Testbed tb(Topology(c.topo), kAutoRoot);
+    const RouteSet itb_serial = build_itb_routes(tb.topo(), tb.updown(), {}, 1);
+    const RouteSet min_serial = build_minimal_routes(tb.topo(), 1);
+    for (const int jobs : {2, 8}) {
+      expect_stores_byte_identical(
+          itb_serial, build_itb_routes(tb.topo(), tb.updown(), {}, jobs),
+          c.name + " itb jobs=" + std::to_string(jobs));
+      expect_stores_byte_identical(
+          min_serial, build_minimal_routes(tb.topo(), jobs),
+          c.name + " min jobs=" + std::to_string(jobs));
+    }
+  }
+}
+
 TEST(RouteStoreParallelBuild, WarmedTestbedServesTheSameTable) {
   // Testbed::warm(scheme, jobs) builds with the pool from the main thread;
   // the table it caches must be the one a cold serial build produces.

@@ -199,6 +199,30 @@ TEST(TorusExpress, RejectsBelow5) {
   EXPECT_THROW(make_torus_2d_express(4, 8, 1), std::invalid_argument);
 }
 
+TEST(TorusExpress, BoundaryAtFive) {
+  // 5 is the smallest extent where regular (+/-1) and express (+/-2)
+  // neighbours are distinct in a ring: exactly at the boundary the
+  // generator must succeed, one below it must throw.
+  const Topology t = make_torus_2d_express(5, 5, 1);
+  EXPECT_EQ(t.num_switches(), 25);
+  EXPECT_TRUE(t.validate().empty());
+  for (SwitchId s = 0; s < 25; ++s) EXPECT_EQ(t.switch_degree(s), 8);
+  EXPECT_THROW(make_torus_2d_express(5, 4, 1), std::invalid_argument);
+  EXPECT_THROW(make_torus_2d_express(4, 5, 1), std::invalid_argument);
+}
+
+TEST(TorusExpress, RejectionNamesTheOffendingValues) {
+  // The message must carry the actual arguments, not just the rule.
+  try {
+    make_torus_2d_express(4, 9, 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rows=4"), std::string::npos) << what;
+    EXPECT_NE(what.find("cols=9"), std::string::npos) << what;
+  }
+}
+
 TEST(Cplant, PaperDimensions) {
   const Topology t = make_cplant();
   EXPECT_EQ(t.num_switches(), 50);

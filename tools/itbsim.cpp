@@ -44,10 +44,17 @@ using namespace itb;
   std::fprintf(stderr,
                "usage: %s [options]\n"
                "  --topology T     torus | express | cplant |\n"
+               "                   hyperx:<S1>x..x<SL>:<hosts> |\n"
+               "                   dragonfly:<a>:<p>:<h>[:palmtree|absolute] |\n"
+               "                   fullmesh:<switches>:<hosts> |\n"
                "                   irregular:<switches>:<hosts>:<ports>:<seed> |\n"
                "                   file:<path>   (default torus)\n"
                "  --scheme S       UP/DOWN | ITB-SP | ITB-RR | ITB-RND | "
-               "ITB-ADAPT (default ITB-RR)\n"
+               "ITB-ADAPT |\n"
+               "                   MIN (structured minimal baseline; hyperx/\n"
+               "                   dragonfly/fullmesh only)  (default ITB-RR)\n"
+               "  --root R         up*/down* root switch id, or 'auto' for the\n"
+               "                   double-sweep pseudo-center (default 0)\n"
                "  --pattern P      uniform | bitrev | hotspot:<host>:<frac> | "
                "local:<radius> (default uniform)\n"
                "  --load X         offered load, flits/ns/switch (default "
@@ -113,6 +120,31 @@ Topology make_topology(const std::string& spec, const char* argv0) {
   if (spec == "express") return make_torus_2d_express(8, 8, 8);
   if (spec == "cplant") return make_cplant();
   if (spec.rfind("file:", 0) == 0) return load_topology(spec.substr(5));
+  if (spec.rfind("hyperx:", 0) == 0) {
+    const auto parts = split(spec.substr(7), ':');
+    if (parts.size() != 2) usage(argv0, "hyperx wants hyperx:<S1>x..x<SL>:<hosts>");
+    std::vector<int> dims;
+    for (const std::string& d : split(parts[0], 'x')) dims.push_back(std::stoi(d));
+    return make_hyperx(dims, std::stoi(parts[1]));
+  }
+  if (spec.rfind("dragonfly:", 0) == 0) {
+    const auto parts = split(spec.substr(10), ':');
+    if (parts.size() != 3 && parts.size() != 4) {
+      usage(argv0, "dragonfly wants dragonfly:<a>:<p>:<h>[:palmtree|absolute]");
+    }
+    DragonflyArrangement arr = DragonflyArrangement::kPalmtree;
+    if (parts.size() == 4) {
+      if (parts[3] == "absolute") arr = DragonflyArrangement::kAbsolute;
+      else if (parts[3] != "palmtree") usage(argv0, "unknown dragonfly arrangement '" + parts[3] + "'");
+    }
+    return make_dragonfly(std::stoi(parts[0]), std::stoi(parts[1]),
+                          std::stoi(parts[2]), arr);
+  }
+  if (spec.rfind("fullmesh:", 0) == 0) {
+    const auto parts = split(spec.substr(9), ':');
+    if (parts.size() != 2) usage(argv0, "fullmesh wants fullmesh:<switches>:<hosts>");
+    return make_full_mesh(std::stoi(parts[0]), std::stoi(parts[1]));
+  }
   if (spec.rfind("irregular:", 0) == 0) {
     const auto parts = split(spec.substr(10), ':');
     if (parts.size() != 4) {
@@ -157,7 +189,8 @@ std::optional<EngineKind> parse_engine(const std::string& name) {
 std::optional<RoutingScheme> parse_scheme(const std::string& name) {
   for (const RoutingScheme s :
        {RoutingScheme::kUpDown, RoutingScheme::kItbSp, RoutingScheme::kItbRr,
-        RoutingScheme::kItbRnd, RoutingScheme::kItbAdapt}) {
+        RoutingScheme::kItbRnd, RoutingScheme::kItbAdapt,
+        RoutingScheme::kMinimal}) {
     if (name == to_string(s)) return s;
   }
   return std::nullopt;
@@ -167,6 +200,7 @@ std::optional<RoutingScheme> parse_scheme(const std::string& name) {
 
 int main(int argc, char** argv) {
   std::string topo_spec = "torus";
+  std::string root_spec = "0";
   std::string scheme_name = "ITB-RR";
   std::string pattern_spec = "uniform";
   std::string csv;
@@ -193,6 +227,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     try {
       if (arg == "--topology") topo_spec = need_value(i);
+      else if (arg == "--root") root_spec = need_value(i);
       else if (arg == "--scheme") scheme_name = need_value(i);
       else if (arg == "--pattern") pattern_spec = need_value(i);
       else if (arg == "--load") load = std::stod(need_value(i));
@@ -244,7 +279,12 @@ int main(int argc, char** argv) {
     }
     const auto scheme = parse_scheme(scheme_name);
     if (!scheme) usage(argv[0], "unknown scheme '" + scheme_name + "'");
-    Testbed tb(std::move(topo));
+    const SwitchId root =
+        root_spec == "auto" ? kAutoRoot : std::stoi(root_spec);
+    if (root != kAutoRoot && (root < 0 || root >= topo.num_switches())) {
+      usage(argv[0], "--root out of range for this topology");
+    }
+    Testbed tb(std::move(topo), root);
     if (dump_routes_min) {
       const RouteSet& rs = tb.routes(*scheme);
       std::printf("# %s\n", summarize_route_set(tb.topo(), rs).c_str());

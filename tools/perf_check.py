@@ -211,6 +211,30 @@ def main():
         print("::warning title=perf-smoke::intra-run sharding is NOT "
               "bit-identical to the serial engine")
 
+    # Low-diameter smoke (PR 8): the 1k-switch checked scale cells must be
+    # bit-identical between serial and sharded runs and invariant-free;
+    # table footprint/build times are informational (machine-dependent).
+    lowdiam = fresh_record.get("lowdiameter", {})
+    for table in lowdiam.get("tables", []):
+        print(f"  lowdiameter table {table.get('testbed', '?')}/"
+              f"{table.get('scheme', '?')}: "
+              f"{table.get('table_bytes', 0) / 1024.0:.1f} KiB, "
+              f"build {table.get('build_ms', 0):.1f} ms")
+    scale = fresh_record.get("lowdiameter_scale", {})
+    if scale.get("deterministic") is False:
+        regressions += 1
+        print("::warning title=perf-smoke::low-diameter sharded scale run is "
+              "NOT bit-identical to the serial engine")
+    for cell in scale.get("cells", []):
+        violations = cell.get("serial", {}).get("invariant_violations", 0)
+        for sample in cell.get("sharded", []):
+            violations += sample.get("invariant_violations", 0)
+        if violations:
+            regressions += 1
+            print(f"::warning title=perf-smoke::low-diameter scale cell "
+                  f"{cell.get('testbed', '?')} reported {violations} "
+                  "invariant violation(s) under checked runs")
+
     # Parallel-efficiency smoke: the workspace layer's headline number.
     base_eff = parallel_efficiency(baseline_record)
     fresh_eff = parallel_efficiency(fresh_record)

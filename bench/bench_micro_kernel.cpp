@@ -385,10 +385,12 @@ RouteStoreAb route_store_ab(const Topology& topo, const UpDown& ud) {
   };
   ab.parallel_identical =
       same(flat1.store().port_pool(), flatn.store().port_pool()) &&
-      same(flat1.store().switch_pool(), flatn.store().switch_pool()) &&
-      same(flat1.store().flat_legs(), flatn.store().flat_legs()) &&
-      same(flat1.store().flat_routes(), flatn.store().flat_routes()) &&
-      same(flat1.store().pair_index(), flatn.store().pair_index());
+      same(flat1.store().walks(), flatn.store().walks()) &&
+      same(flat1.store().route_walks(), flatn.store().route_walks()) &&
+      same(flat1.store().core_routes(), flatn.store().core_routes()) &&
+      same(flat1.store().alt_routes(), flatn.store().alt_routes()) &&
+      same(flat1.store().altlists(), flatn.store().altlists()) &&
+      same(flat1.store().pair_altlist(), flatn.store().pair_altlist());
   return ab;
 }
 

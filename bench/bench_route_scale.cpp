@@ -1,0 +1,199 @@
+// Route-table scale grid: serial build time, table footprint and lookup
+// (compose) cost of the switch-pair factorized store across the topology
+// ladder — the 512-host paper torus up to the 2064-switch / 16512-host
+// Dragonfly — for every table the scheme set uses (UP/DOWN, MIN, and the
+// shared ITB table of ITB-SP/RR).
+//
+// For the small and medium cells the same table is also re-compressed into
+// the explicit (instance-flat, PR 6-style) tier via materialize_nested, so
+// the record carries the measured factorized-vs-flat footprint delta; on
+// the >=1024-switch cells the instance-flat inflation is the very cost the
+// factorized core removes, so the delta there is tracked against the
+// committed baseline record (tools/perf_check.py) instead of re-measured.
+//
+// JSON section: "route_scale" (BENCH_pr9.json).
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/route_builder.hpp"
+#include "harness/json.hpp"
+#include "route/topo_minimal.hpp"
+
+using namespace itb;
+using namespace itb::bench;
+
+namespace {
+
+constexpr char kSection[] = "route_scale";
+
+struct Cell {
+  std::string testbed;
+  int switches = 0;
+  int hosts = 0;
+  RoutingScheme scheme = RoutingScheme::kUpDown;
+  double build_ms = 0.0;
+  std::uint64_t table_bytes = 0;
+  std::uint64_t core_bytes = 0;
+  std::uint64_t route_instances = 0;
+  std::uint64_t distinct_walks = 0;
+  std::uint64_t distinct_routes = 0;
+  std::uint64_t distinct_altlists = 0;
+  std::uint64_t segments_shared = 0;
+  double compose_ns_avg = 0.0;
+  std::uint64_t explicit_table_bytes = 0;  // 0 when not measured
+};
+
+/// Average wall time of one pair lookup + view composition, over a
+/// deterministic LCG sample of pairs.  The checksum keeps the compose from
+/// being optimized away.
+double compose_ns_avg(const RouteSet& rs, int num_switches) {
+  const int kSamples = 65536;
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSamples; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto s = static_cast<SwitchId>((lcg >> 33) %
+                                         static_cast<std::uint64_t>(num_switches));
+    const auto d = static_cast<SwitchId>((lcg >> 13) %
+                                         static_cast<std::uint64_t>(num_switches));
+    const AltsView alts = rs.alternatives(s, d);
+    const RouteView v = alts[(lcg >> 3) % alts.size()];
+    sink += static_cast<std::uint64_t>(v.total_switch_hops) +
+            v.legs.back().ports.size();
+  }
+  const std::chrono::duration<double, std::nano> dt =
+      std::chrono::steady_clock::now() - t0;
+  if (sink == 0) std::printf("(unreachable checksum)\n");
+  return dt.count() / kSamples;
+}
+
+Cell measure(const std::string& name, const Testbed& tb, RoutingScheme scheme,
+             bool explicit_baseline, int reps) {
+  Cell c;
+  c.testbed = name;
+  c.switches = tb.topo().num_switches();
+  c.hosts = tb.topo().num_hosts();
+  c.scheme = scheme;
+
+  auto build = [&]() -> RouteSet {
+    if (scheme == RoutingScheme::kUpDown) {
+      const SimpleRoutes sr(tb.topo(), tb.updown());
+      return build_updown_routes(tb.topo(), sr, 1);
+    }
+    if (scheme == RoutingScheme::kMinimal) {
+      return build_minimal_routes(tb.topo(), 1);
+    }
+    return build_itb_routes(tb.topo(), tb.updown(), {}, 1);
+  };
+
+  RouteSet rs = build();
+  c.build_ms = rs.build_ms();
+  for (int i = 1; i < reps; ++i) {
+    const RouteSet again = build();
+    if (again.build_ms() < c.build_ms) c.build_ms = again.build_ms();
+  }
+  const RouteStore& store = rs.store();
+  c.table_bytes = store.table_bytes();
+  c.core_bytes = store.core_bytes();
+  c.route_instances = store.num_routes();
+  c.distinct_walks = store.distinct_walks();
+  c.distinct_routes = store.distinct_routes();
+  c.distinct_altlists = store.distinct_altlists();
+  c.segments_shared = store.segments_shared();
+  c.compose_ns_avg = compose_ns_avg(rs, c.switches);
+  if (explicit_baseline) {
+    const RouteSet exp(rs.materialize_nested());
+    c.explicit_table_bytes = exp.table_bytes();
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_args(argc, argv);
+  print_header("Route-table scale",
+               "factorized store: build / footprint / compose across the "
+               "topology ladder");
+
+  // SimpleRoutes' candidate enumeration (the paper's own algorithm) is
+  // quadratic in switches; UP/DOWN tables ride only on cells where that is
+  // an honest baseline rather than a stall — same rule as bench_lowdiameter.
+  const std::vector<std::string> beds =
+      opts.fast
+          ? std::vector<std::string>{"torus", "hyperx16x16", "dragonfly8"}
+          : std::vector<std::string>{"torus", "hyperx16x16", "dragonfly8",
+                                     "hyperx32x32", "dragonfly16"};
+
+  std::vector<Cell> cells;
+  for (const std::string& name : beds) {
+    const Testbed tb = make_testbed(name);
+    const int n = tb.topo().num_switches();
+    // Re-inflating to the instance-flat tier materializes every route
+    // instance; bounded to the cells where that is cheap.
+    const bool explicit_baseline = n <= 512;
+    const int reps = n <= 512 ? 3 : 1;
+
+    std::vector<RoutingScheme> schemes;
+    if (n <= 256) schemes.push_back(RoutingScheme::kUpDown);
+    if (has_structured_minimal(tb.topo())) {
+      schemes.push_back(RoutingScheme::kMinimal);
+    }
+    schemes.push_back(RoutingScheme::kItbRr);  // table shared with ITB-SP
+    for (const RoutingScheme s : schemes) {
+      cells.push_back(measure(name, tb, s, explicit_baseline, reps));
+    }
+  }
+
+  TextTable table({"testbed", "sw", "hosts", "table", "build(ms)", "bytes",
+                   "core", "walks", "routes", "inst", "compose(ns)",
+                   "flat-bytes"});
+  for (const Cell& c : cells) {
+    char ms[32], comp[32];
+    std::snprintf(ms, sizeof ms, "%.1f", c.build_ms);
+    std::snprintf(comp, sizeof comp, "%.1f", c.compose_ns_avg);
+    table.add_row({c.testbed, std::to_string(c.switches),
+                   std::to_string(c.hosts), to_string(c.scheme), ms,
+                   std::to_string(c.table_bytes),
+                   std::to_string(c.core_bytes),
+                   std::to_string(c.distinct_walks),
+                   std::to_string(c.distinct_routes),
+                   std::to_string(c.route_instances), comp,
+                   c.explicit_table_bytes
+                       ? std::to_string(c.explicit_table_bytes)
+                       : std::string("-")});
+  }
+  table.print(std::cout);
+
+  if (!opts.json.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("cells").begin_array();
+    for (const Cell& c : cells) {
+      w.begin_object();
+      w.key("testbed").value(c.testbed);
+      w.key("switches").value(c.switches);
+      w.key("hosts").value(c.hosts);
+      w.key("scheme").value(to_string(c.scheme));
+      w.key("build_ms").value(c.build_ms);
+      w.key("table_bytes").value(c.table_bytes);
+      w.key("core_bytes").value(c.core_bytes);
+      w.key("route_instances").value(c.route_instances);
+      w.key("distinct_walks").value(c.distinct_walks);
+      w.key("distinct_routes").value(c.distinct_routes);
+      w.key("distinct_altlists").value(c.distinct_altlists);
+      w.key("segments_shared").value(c.segments_shared);
+      w.key("compose_ns_avg").value(c.compose_ns_avg);
+      w.key("explicit_table_bytes").value(c.explicit_table_bytes);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    write_json_section(opts.json, kSection, w.str());
+    std::printf("wrote %s section to %s\n", kSection, opts.json.c_str());
+  }
+  return 0;
+}

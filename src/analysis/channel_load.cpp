@@ -48,16 +48,16 @@ ChannelLoadModel compute_channel_load(const Topology& topo,
 
     // Injection channel (source host -> its switch).
     cross(topo.channel_from(topo.host(src).cable, false));
-    // Fabric and in-transit channels, leg by leg.
-    std::size_t sw_index = 0;
+    // Fabric and in-transit channels, leg by leg (the current switch is
+    // followed through the port-peer table, not stored in the view).
+    SwitchId cur = r.src_switch;
     for (std::size_t li = 0; li < r.legs.size(); ++li) {
       const LegView leg = r.legs[li];
       for (int h = 0; h < leg.switch_hops; ++h) {
-        const SwitchId from = r.switches[sw_index];
         const PortPeer& peer =
-            topo.peer(from, leg.ports[static_cast<std::size_t>(h)]);
-        cross(topo.channel_from_switch(from, peer.cable));
-        ++sw_index;
+            topo.peer(cur, leg.ports[static_cast<std::size_t>(h)]);
+        cross(topo.channel_from_switch(cur, peer.cable));
+        cur = peer.sw;
       }
       if (li + 1 < r.legs.size()) {
         // Ejection into and re-injection out of the in-transit host.

@@ -12,10 +12,10 @@ TimePs zero_load_latency(const Topology& topo, const RouteView& route,
   const TimePs R = params.routing_delay;
   TimePs t = 0;
 
-  // Walk the legs; `at` tracks the physical switch so per-cable
-  // propagation delays (which may differ per cable) are honoured.
+  // Walk the legs; `at` tracks the physical switch (followed through the
+  // topology's port-peer table) so per-cable propagation delays (which may
+  // differ per cable) are honoured.
   SwitchId at = route.src_switch;
-  std::size_t leg_start_index = 0;  // index into route.switches
   for (std::size_t li = 0; li < route.legs.size(); ++li) {
     const LegView leg = route.legs[li];
     const bool final_leg = li + 1 == route.legs.size();
@@ -28,20 +28,15 @@ TimePs zero_load_latency(const Topology& topo, const RouteView& route,
                 : topo.cable(topo.host(sender).cable).length_m;
     t += F + params.cable_prop_delay(access_len);
 
-    // Fabric hops of this leg.
+    // Fabric hops of this leg: follow the stored port bytes.
     for (int h = 0; h < leg.switch_hops; ++h) {
-      const std::size_t sw_index = leg_start_index + static_cast<std::size_t>(h);
-      const SwitchId from = route.switches[sw_index];
-      const SwitchId to = route.switches[sw_index + 1];
-      // Find the cable actually used: the port stored in the leg.
-      const PortPeer& peer = topo.peer(from, leg.ports[static_cast<std::size_t>(h)]);
-      assert(peer.kind == PeerKind::kSwitch && peer.sw == to);
-      (void)to;
-      t += R;  // routing at `from`
+      const PortPeer& peer =
+          topo.peer(at, leg.ports[static_cast<std::size_t>(h)]);
+      assert(peer.kind == PeerKind::kSwitch);
+      t += R;  // routing at `at`
       t += F + params.cable_prop_delay(topo.cable(peer.cable).length_m);
+      at = peer.sw;
     }
-    at = route.switches[leg_start_index + static_cast<std::size_t>(leg.switch_hops)];
-    leg_start_index += static_cast<std::size_t>(leg.switch_hops);
 
     // Delivery hop off the last switch of the leg (to the in-transit host
     // or the destination host).

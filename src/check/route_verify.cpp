@@ -94,14 +94,17 @@ bool retrace_route(const PairContext& ctx, const RouteView& r, int alt,
   return true;
 }
 
-/// Stable identity of an alternative for pairwise-distinctness: the switch
-/// walk plus the in-transit hosts (two alternatives over the same switches
-/// but different ITB hosts are genuinely different routes).
+/// Stable identity of an alternative for pairwise-distinctness: the port
+/// walk plus the in-transit hosts.  From a fixed source switch the port
+/// bytes determine the switch walk, so this distinguishes exactly the
+/// routes that behave differently on the wire (two alternatives over the
+/// same switches but different ITB hosts are genuinely different routes).
 std::string route_identity(const RouteView& r) {
   std::string id;
-  for (const SwitchId s : r.switches) id += std::to_string(s) + ",";
-  id += "|";
-  for (const LegView l : r.legs) id += std::to_string(l.end_host) + ",";
+  for (const LegView l : r.legs) {
+    for (const PortId p : l.ports) id += std::to_string(p) + ",";
+    id += "@" + std::to_string(l.end_host) + ";";
+  }
   return id;
 }
 
@@ -169,9 +172,13 @@ RouteVerifyReport verify_route_set(const Topology& topo, const UpDown& ud,
                             std::to_string(d));
           continue;
         }
+        // Cross-check the store's own reconstruction (explicit tier: the
+        // stored switch walk; factorized tier: the composition tables)
+        // against the topology re-trace above.
+        const Route full = materialize_route(r);
         if (!std::equal(path.sw.begin(), path.sw.end(),
-                        r.switches.begin(), r.switches.end())) {
-          ctx.fail(alt, "recorded switch sequence disagrees with port walk");
+                        full.switches.begin(), full.switches.end())) {
+          ctx.fail(alt, "materialized switch sequence disagrees with port walk");
         }
         if (path.hops() != r.total_switch_hops) {
           ctx.fail(alt, "total_switch_hops=" +

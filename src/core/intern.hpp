@@ -1,0 +1,96 @@
+// Sequence interning primitives shared by the route-store builders.
+//
+// The factorized store dedups three kinds of variable-length sequences
+// (leg port walks, per-route walk-id lists, per-pair alternative lists).
+// Interning them through std::unordered_map<std::string, id> — the PR 6
+// approach — allocates a key per *lookup*, which dominated the flat build
+// (BENCH_pr8: flat 40.2 ms vs nested 26.4 ms on the 512-host torus).
+//
+// HashInterner is the allocation-free replacement: an open-addressed
+// hash -> id probe table that owns no keys at all.  The caller keeps the
+// canonical sequences in its own pools, hands in a 64-bit hash, and
+// supplies two callbacks: `eq(id)` compares the candidate against the
+// already-interned sequence `id`, and `append()` materializes the new
+// sequence and returns its id.  One interner therefore serves any pool
+// layout, both for the row-local staging tables and the global merge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace itb {
+
+/// FNV-1a over a byte span.  `seed` chains hashes (fold a trailing tag
+/// into a sequence hash by re-invoking with the previous result).
+[[nodiscard]] inline std::uint64_t hash_bytes(
+    const void* data, std::size_t n,
+    std::uint64_t seed = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+class HashInterner {
+ public:
+  HashInterner() = default;
+
+  /// Drops all entries but keeps the slot storage (row staging reuses one
+  /// interner across sources).
+  void clear() {
+    for (Slot& s : slots_) s.id = kEmpty;
+    count_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Returns the id of the sequence with hash `hash` for which `eq(id)`
+  /// holds; when absent, calls `append()` and records the returned id.
+  template <typename Eq, typename Append>
+  std::uint32_t intern(std::uint64_t hash, Eq&& eq, Append&& append) {
+    if (slots_.empty()) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.id == kEmpty) {
+        const std::uint32_t id = append();
+        s.hash = hash;
+        s.id = id;
+        ++count_;
+        if (count_ * 10 >= slots_.size() * 7) grow();
+        return id;
+      }
+      if (s.hash == hash && eq(s.id)) return s.id;
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t id = kEmpty;
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 64 : old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.id == kEmpty) continue;
+      std::size_t i = static_cast<std::size_t>(s.hash) & mask;
+      while (slots_[i].id != kEmpty) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace itb

@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <span>
 #include <stdexcept>
 #include <utility>
-
-#include <span>
 
 #include "core/itb_split.hpp"
 #include "route/minimal_paths.hpp"
@@ -44,7 +43,9 @@ Route compile_route(const Topology& topo, const SwitchPath& path,
     }
     if (!is_final) {
       // Choose the in-transit host on the segment's last switch, spreading
-      // the load over that switch's hosts deterministically.
+      // the load over that switch's hosts deterministically.  The
+      // factorized store recomputes this exact mix at composition time
+      // (RouteStore::compose_factorized) — keep the two in lockstep.
       const SwitchId itb_sw = seg.dst();
       const auto hosts = topo.hosts_of_switch(itb_sw);
       if (hosts.empty()) {
@@ -68,8 +69,8 @@ Route compile_route(const Topology& topo, const SwitchPath& path,
 namespace {
 
 /// One staged row: the alternatives of every destination for one source
-/// switch.  Row construction is a pure function of (topo, inputs, s) —
-/// the determinism contract parallel_for_n requires.
+/// switch — the materialized form the *_nested builders return for the
+/// differential harness and hand-inspection.
 using Row = std::vector<std::vector<Route>>;
 
 Row updown_row(const Topology& topo, const SimpleRoutes& sr, SwitchId s) {
@@ -163,28 +164,183 @@ Row itb_row(const Topology& topo, const UpDown& ud,
   return row;
 }
 
-/// Stage rows (in parallel when jobs > 1) and compress them in (s,d)
-/// order.  The merge is serial and ordered, so the flat arrays are a pure
-/// function of the row values: bit-identical for every jobs value.
-template <typename RowFn>
-RouteSet build_flat(int n, RoutingAlgorithm algo, int jobs, RowFn&& row_fn) {
+// ---------------------------------------------------------------------------
+// Factorized staging: the flat builders stage switch-pair rows directly
+// into the factorized block format (core/route_store.hpp) — no Route is
+// ever materialized, no per-route temporaries are allocated.  Scratch
+// buffers are reused across every source a task stages.
+
+struct StageScratch {
+  std::vector<PortId> ports;
+  std::vector<int> splits;
+  std::vector<std::uint32_t> walk_ids;
+  std::vector<std::uint32_t> route_ids;
+  MinimalPathScratch path;
+  PrunedDag dag;
+};
+
+/// Output port of `p.sw[i]` for cable `p.cable[i]`.
+PortId out_port(const Topology& topo, const SwitchPath& p, std::size_t i) {
+  const Cable& cb = topo.cable(p.cable[i]);
+  return cb.a.sw == p.sw[i] ? cb.a.port : cb.b.port;
+}
+
+void path_ports(const Topology& topo, const SwitchPath& p,
+                std::vector<PortId>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < p.cable.size(); ++i) {
+    out.push_back(out_port(topo, p, i));
+  }
+}
+
+/// Stages one route given its full port walk and ITB split indices;
+/// returns the block-local route id.
+std::uint32_t stage_ported_route(FactorizedBlockStager& st,
+                                 const PortId* ports, int hops,
+                                 const int* splits, std::size_t n_splits,
+                                 std::uint16_t tag, StageScratch& sc) {
+  sc.walk_ids.clear();
+  int prev = 0;
+  for (std::size_t i = 0; i < n_splits; ++i) {
+    const int sp = splits[i];
+    sc.walk_ids.push_back(st.stage_walk(ports + prev, idx(sp - prev)));
+    prev = sp;
+  }
+  sc.walk_ids.push_back(st.stage_walk(ports + prev, idx(hops - prev)));
+  return st.stage_route(sc.walk_ids.data(), sc.walk_ids.size(), tag);
+}
+
+void stage_updown_row(const Topology& topo, const SimpleRoutes& sr,
+                      SwitchId s, FactorizedBlockStager& st,
+                      StageScratch& sc) {
+  for (SwitchId d = 0; d < topo.num_switches(); ++d) {
+    const SwitchPath& p = sr.route(s, d);
+    path_ports(topo, p, sc.ports);
+    const std::uint32_t rid =
+        stage_ported_route(st, sc.ports.data(), p.hops(), nullptr, 0, 0, sc);
+    st.commit_pair(&rid, 1);
+  }
+}
+
+void stage_minimal_row(const Topology& topo, const StructuredMinimal& sm,
+                       SwitchId s, FactorizedBlockStager& st,
+                       StageScratch& sc) {
+  for (SwitchId d = 0; d < topo.num_switches(); ++d) {
+    const SwitchPath p = sm.path(s, d);
+    path_ports(topo, p, sc.ports);
+    const std::uint32_t rid =
+        stage_ported_route(st, sc.ports.data(), p.hops(), nullptr, 0, 0, sc);
+    st.commit_pair(&rid, 1);
+  }
+}
+
+/// Stages the column of one *destination*: all sources, in source order.
+/// Iterating destination-major lets the (cache-hostile) distance-matrix row
+/// and the pruned minimal-step DAG derived from it be built once per
+/// destination and shared by every source's DFS — the enumeration inner
+/// loop then touches only edges known to lie on a minimal path.  Per-pair
+/// values (rotation, split scan, host-feasibility, tags) are untouched, so
+/// the emitted routes are identical to a source-major build; only the pair
+/// stream order — and hence intern-id assignment — changes, canonically.
+void stage_itb_dest_row(const Topology& topo, const UpDown& ud,
+                        const ItbBuildOptions& opts,
+                        const std::vector<std::uint32_t>& host_count,
+                        SwitchId d, FactorizedBlockStager& st,
+                        StageScratch& sc) {
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    sc.route_ids.clear();
+    const auto rotation = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(s) * 0x9e3779b9u +
+         static_cast<std::uint64_t>(d) * 0x85ebca6bu) >>
+        16);
+    for_each_minimal_path_dag(
+        sc.dag, s, d, opts.max_alternatives, rotation, sc.path,
+        [&](const SwitchId* sw, const CableId* cable, const PortId* port,
+            int hops) {
+          // itb_split_points over the scratch spans, allocation-free.
+          sc.splits.clear();
+          bool gone_down = false;
+          for (int i = 0; i < hops; ++i) {
+            const bool up = ud.is_up(cable[idx(i)], sw[idx(i)]);
+            if (up && gone_down) {
+              sc.splits.push_back(i);
+              gone_down = false;
+            }
+            if (!up) gone_down = true;
+          }
+          for (const int sp : sc.splits) {
+            if (host_count[idx(sw[idx(sp)])] == 0) return;
+          }
+          const auto tag = static_cast<std::uint16_t>(sc.route_ids.size());
+          sc.route_ids.push_back(stage_ported_route(
+              st, port, hops, sc.splits.data(), sc.splits.size(), tag, sc));
+        });
+    if (sc.route_ids.empty()) {
+      const auto legal = ud.shortest_legal_paths(s, d, 1);
+      if (legal.empty()) {
+        throw std::runtime_error("build_itb_routes: pair unreachable");
+      }
+      path_ports(topo, legal.front(), sc.ports);
+      sc.route_ids.push_back(stage_ported_route(
+          st, sc.ports.data(), legal.front().hops(), nullptr, 0, 0, sc));
+    }
+    if (opts.prefer_fewest_itbs) {
+      std::stable_sort(sc.route_ids.begin(), sc.route_ids.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return st.route_leg_count(a) < st.route_leg_count(b);
+                       });
+    }
+    st.commit_pair(sc.route_ids.data(), sc.route_ids.size());
+  }
+}
+
+/// Stage blocks of rows (in parallel when jobs > 1) and merge them in row
+/// order.  A "row" is one source switch for the UP/DOWN and MIN builders
+/// and one *destination* for the ITB builder (pair_transposed = true; the
+/// store builder transposes the pair index back).  Global intern ids are
+/// assigned in first-appearance order over the canonical row-major pair
+/// stream, which is independent of how rows are blocked across workers —
+/// the store is bit-identical for every jobs value.
+template <typename StageRow>
+RouteSet build_factorized(const Topology& topo, RoutingAlgorithm algo,
+                          std::uint64_t itb_host_salt, int jobs,
+                          bool pair_transposed, StageRow&& stage_row) {
   const auto t0 = std::chrono::steady_clock::now();
-  RouteStoreBuilder b(static_cast<std::size_t>(n) *
-                      static_cast<std::size_t>(n));
+  const int n = topo.num_switches();
+  FactorizedStoreBuilder b(topo, itb_host_salt);
+  b.set_pair_transposed(pair_transposed);
   if (jobs <= 1) {
-    for (SwitchId s = 0; s < n; ++s) {
-      const Row row = row_fn(s);
-      for (SwitchId d = 0; d < n; ++d) b.append_pair(row[idx(d)]);
+    // Serial: one block, one stager, one scratch — cleared (capacity
+    // retained) between rows.
+    FactorizedBlock block;
+    FactorizedBlockStager stager;
+    StageScratch sc;
+    for (SwitchId r = 0; r < n; ++r) {
+      stager.begin_block(&block);
+      stage_row(stager, sc, r);
+      b.append_block(block);
     }
   } else {
-    // Per-worker staging: each row is an index-ordered slot, built by
-    // whichever worker picks it up.  NOTE: callers on pool worker threads
-    // must pass jobs == 1 (pooled_for must not nest; see sim/pool.hpp).
-    std::vector<Row> rows = parallel_map<Row>(
-        n, jobs, [&](int s) { return row_fn(static_cast<SwitchId>(s)); });
-    for (SwitchId s = 0; s < n; ++s) {
-      for (SwitchId d = 0; d < n; ++d) b.append_pair(rows[idx(s)][idx(d)]);
-      Row().swap(rows[idx(s)]);  // free staging as soon as it is merged
+    // Chunked fan-out: a few blocks per worker keeps per-task overhead
+    // bounded while the ordered serial merge stays O(distinct shapes).
+    // NOTE: callers on pool worker threads must pass jobs == 1
+    // (pooled_for must not nest; see sim/pool.hpp).
+    const int chunk = std::max(1, (n + jobs * 4 - 1) / (jobs * 4));
+    const int num_blocks = (n + chunk - 1) / chunk;
+    std::vector<FactorizedBlock> blocks = parallel_map<FactorizedBlock>(
+        num_blocks, jobs, [&](int bi) {
+          FactorizedBlock block;
+          FactorizedBlockStager stager;
+          StageScratch sc;
+          stager.begin_block(&block);
+          const int r0 = bi * chunk;
+          const int r1 = std::min(n, r0 + chunk);
+          for (SwitchId r = r0; r < r1; ++r) stage_row(stager, sc, r);
+          return block;
+        });
+    for (FactorizedBlock& blk : blocks) {
+      b.append_block(blk);
+      blk = FactorizedBlock{};  // free staging as soon as it is merged
     }
   }
   RouteSet rs(n, algo, b.finish());
@@ -194,26 +350,50 @@ RouteSet build_flat(int n, RoutingAlgorithm algo, int jobs, RowFn&& row_fn) {
   return rs;
 }
 
+std::vector<std::uint32_t> hosts_per_switch(const Topology& topo) {
+  std::vector<std::uint32_t> count(idx(topo.num_switches()), 0);
+  for (HostId h = 0; h < topo.num_hosts(); ++h) {
+    ++count[idx(topo.host(h).sw)];
+  }
+  return count;
+}
+
 }  // namespace
 
 RouteSet build_updown_routes(const Topology& topo, const SimpleRoutes& sr,
                              int jobs) {
-  return build_flat(topo.num_switches(), RoutingAlgorithm::kUpDown, jobs,
-                    [&](SwitchId s) { return updown_row(topo, sr, s); });
+  return build_factorized(
+      topo, RoutingAlgorithm::kUpDown, 0, jobs, /*pair_transposed=*/false,
+      [&](FactorizedBlockStager& st, StageScratch& sc, SwitchId s) {
+        stage_updown_row(topo, sr, s, st, sc);
+      });
 }
 
 RouteSet build_itb_routes(const Topology& topo, const UpDown& ud,
                           ItbBuildOptions opts, int jobs) {
   const std::vector<int> all_dist = all_pairs_distances(topo, jobs);
-  return build_flat(
-      topo.num_switches(), RoutingAlgorithm::kItb, jobs,
-      [&](SwitchId s) { return itb_row(topo, ud, opts, s, all_dist); });
+  const SwitchAdjacency adj(topo);
+  const std::vector<std::uint32_t> host_count = hosts_per_switch(topo);
+  const auto n = idx(topo.num_switches());
+  return build_factorized(
+      topo, RoutingAlgorithm::kItb, opts.itb_host_salt, jobs,
+      /*pair_transposed=*/true,
+      [&](FactorizedBlockStager& st, StageScratch& sc, SwitchId d) {
+        // Row d of the matrix = distances from d = distances to d
+        // (undirected); the pruned DAG is rebuilt in place per destination.
+        sc.dag.build(adj,
+                     std::span<const int>(all_dist.data() + idx(d) * n, n));
+        stage_itb_dest_row(topo, ud, opts, host_count, d, st, sc);
+      });
 }
 
 RouteSet build_minimal_routes(const Topology& topo, int jobs) {
   const StructuredMinimal sm(topo);
-  return build_flat(topo.num_switches(), RoutingAlgorithm::kMinimal, jobs,
-                    [&](SwitchId s) { return minimal_row(topo, sm, s); });
+  return build_factorized(
+      topo, RoutingAlgorithm::kMinimal, 0, jobs, /*pair_transposed=*/false,
+      [&](FactorizedBlockStager& st, StageScratch& sc, SwitchId s) {
+        stage_minimal_row(topo, sm, s, st, sc);
+      });
 }
 
 NestedRouteTable build_updown_routes_nested(const Topology& topo,

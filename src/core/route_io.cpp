@@ -23,9 +23,11 @@ std::string format_route(const Topology& topo, const RouteView& r) {
     if (leg.end_host != kNoHost) os << " @h" << leg.end_host;
   }
   os << "] via ";
-  for (std::size_t i = 0; i < r.switches.size(); ++i) {
+  // The view no longer carries the switch walk; inflate it from the store.
+  const Route full = materialize_route(r);
+  for (std::size_t i = 0; i < full.switches.size(); ++i) {
     if (i > 0) os << "-";
-    os << r.switches[i];
+    os << full.switches[i];
   }
   return os.str();
 }

@@ -1,92 +1,149 @@
-// Compressed contiguous route store.
+// Switch-pair factorized route store.
 //
-// The flat, offset-indexed representation behind RouteSet: instead of
-// `vector<vector<Route>>` with three more heap vectors per Route (legs,
-// per-leg ports, switches) — five levels of pointer-chasing per packet
-// injection — the whole table lives in five contiguous arrays:
+// The store behind RouteSet.  Two tiers share one lookup interface:
 //
-//   port_pool_    [PortId ...]            shared, dedup'd port sequences
-//   switch_pool_  [SwitchId ...]          shared, dedup'd switch walks
-//   legs_         [FlatLeg ...]           POD: port offset/count, end_host
-//   routes_       [FlatRoute ...]         POD: leg range, switch range
-//   pairs_        [PairSlot ...]          (src,dst) -> {first_route, count}
+// **Factorized tier** (what the route builders produce).  The stored unit
+// is the ordered switch pair; everything below it is interned so that no
+// absolute switch or host id survives into route identity.  Arrays:
 //
-// Identical port sequences (ubiquitous in regular topologies, where many
-// pairs reuse the same dimension-ordered sub-walks) are stored once:
-// the builder interns each leg's port sequence and each route's switch
-// walk by value, so a lookup is two indexed loads (pair slot -> route
-// record -> leg record + pool offset) over cache-friendly memory.
+//   port_pool_    [PortId ...]     dedup'd leg port walks (switch output
+//                                  ports only — no ITB eject ports)
+//   walks_        [WalkRec ...]    walk id -> pool span
+//   route_walks_  [u32 ...]        per distinct route: its walk ids
+//   core_routes_  [RouteRec ...]   route id -> walk span + alt tag
+//   alt_routes_   [u32 ...]        per distinct alternative list: route ids
+//   altlists_     [AltListRec ...] altlist id -> alt_routes_ span
+//   pair_alt_     [u32 ...]        (src,dst) switch pair -> altlist id
 //
-// The store is immutable after build.  Lookup hands out non-owning views
-// (RouteView / LegView over std::span) that mirror the member names of
-// the materialized Route/RouteLeg structs, so hot-path code reads
-// `route.legs[i].ports[h]` unchanged.  Views are trivially copyable and
-// remain valid as long as the owning store is alive.
+// On regular topologies the same port walks, routes and alternative lists
+// recur across thousands of pairs (a Dragonfly's l-g-l pattern has a few
+// thousand distinct port walks network-wide), so the core shrinks from
+// O(route instances) to O(distinct shapes) + O(S^2) pair words — 22x
+// smaller than the PR 6 instance-flat layout at the 2064-switch scale.
+//
+// Lookup *composes* a self-contained RouteView on the fly: end switches
+// are rederived by walking a (switch, port) -> switch table, the ITB
+// in-transit host is recomputed as the same deterministic function of
+// (src, dst, alt tag, leg, itb_host_salt) the builder's compile_route
+// uses, and the eject port is synthesized from the host attachment table.
+// Composition is a handful of indexed loads per leg (single-leg routes —
+// every UP/DOWN and MIN route, and most ITB alternatives — walk nothing),
+// and simulated results are bit-identical to the instance-flat store.
+//
+// **Explicit tier** (RouteStoreBuilder, used by `RouteSet(nested)`).
+// Arbitrary staged tables — hand-built test fixtures, tables whose end
+// hosts don't follow the canonical composition rule, tables with no
+// backing topology — keep the PR 6 instance-flat layout: FlatLeg /
+// FlatRoute records with explicit end hosts and stored switch walks.
+//
+// Views are trivially copyable and self-contained (a Packet stores one by
+// value); the inline leg records keep the per-hop data path identical to
+// the flat store: `route.legs[i].ports[h]` is two indexed loads.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <span>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/intern.hpp"
 #include "core/route.hpp"
+#include "topo/topology.hpp"
 #include "topo/types.hpp"
 
 namespace itb {
 
-/// One leg of a flat route: `port_count` ports starting at
-/// `port_off` in the port pool.  Mirrors RouteLeg.
-struct FlatLeg {
-  std::uint32_t port_off = 0;
-  std::uint16_t port_count = 0;
-  std::uint16_t switch_hops = 0;
-  HostId end_host = kNoHost;
-};
+/// Upper bound on legs per route a view can carry inline.  A route with k
+/// legs uses k-1 in-transit buffers; the paper's tables peak at 3-4 legs
+/// and the 16x16 torus at the bench frontier stays under 10, so 12 leaves
+/// headroom.  Builders throw std::length_error beyond it.
+inline constexpr int kMaxRouteLegs = 12;
 
-/// One route: `leg_count` consecutive FlatLeg records starting at
-/// `first_leg`, plus the dedup'd switch walk.  Mirrors Route.
-struct FlatRoute {
-  SwitchId src_switch = kNoSwitch;
-  SwitchId dst_switch = kNoSwitch;
-  std::uint32_t first_leg = 0;
-  std::uint32_t switch_off = 0;
-  std::uint16_t leg_count = 0;
-  std::uint16_t switch_count = 0;
-  std::int32_t total_switch_hops = 0;
-};
+// ---------------------------------------------------------------------------
+// Views
 
-/// Pair index entry: the alternatives of one ordered (src,dst) switch
-/// pair are `count` consecutive FlatRoute records from `first_route`.
-struct PairSlot {
-  std::uint32_t first_route = 0;
-  std::uint32_t count = 0;
+/// Port sequence of one leg: `n_pool` ports resident in the shared pool
+/// plus an optional synthesized trailing port (the ITB eject port of a
+/// factorized intermediate leg).  Indexing mirrors a flat array.
+class PortSeq {
+ public:
+  PortSeq() = default;
+  PortSeq(const PortId* data, std::uint16_t n_pool, PortId tail)
+      : data_(data), n_pool_(n_pool), tail_(tail) {}
+
+  [[nodiscard]] std::size_t size() const {
+    return n_pool_ + (tail_ != kNoPort ? 1u : 0u);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] PortId operator[](std::size_t i) const {
+    return i < n_pool_ ? data_[i] : tail_;
+  }
+  [[nodiscard]] PortId front() const { return (*this)[0]; }
+  [[nodiscard]] PortId back() const { return (*this)[size() - 1]; }
+
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = PortId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const PortId*;
+    using reference = PortId;
+
+    iterator(const PortSeq* s, std::size_t i) : s_(s), i_(i) {}
+    PortId operator*() const { return (*s_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const PortSeq* s_;
+    std::size_t i_;
+  };
+  [[nodiscard]] iterator begin() const { return {this, 0}; }
+  [[nodiscard]] iterator end() const { return {this, size()}; }
+
+ private:
+  const PortId* data_ = nullptr;
+  std::uint16_t n_pool_ = 0;
+  PortId tail_ = kNoPort;
 };
 
 /// Non-owning view of one leg; mirrors RouteLeg's members.
 struct LegView {
-  std::span<const PortId> ports;
+  PortSeq ports;
   HostId end_host = kNoHost;
   int switch_hops = 0;
 };
 
-/// Random-access range of LegView over a route's consecutive FlatLeg
-/// records.  Indexing constructs the ~16-byte view on the fly.
+/// One composed leg record held inline in a RouteView.
+struct LegRec {
+  std::uint32_t port_off = 0;    // into the owning store's port pool
+  std::uint16_t port_count = 0;  // ports resident in the pool
+  std::uint16_t switch_hops = 0;
+  PortId tail = kNoPort;         // synthesized ITB eject port
+  HostId end_host = kNoHost;
+};
+
+/// Random-access range over a route's composed legs.  The records live
+/// inline (composition fills them once per lookup); only the port pool is
+/// referenced through the owning store, so the range stays valid as long
+/// as the store is alive.
 class LegRange {
  public:
   LegRange() = default;
-  LegRange(const FlatLeg* legs, const PortId* port_pool, std::uint32_t count)
-      : legs_(legs), port_pool_(port_pool), count_(count) {}
 
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] bool empty() const { return count_ == 0; }
 
   [[nodiscard]] LegView operator[](std::size_t i) const {
-    const FlatLeg& l = legs_[i];
-    return LegView{{port_pool_ + l.port_off, l.port_count},
-                   l.end_host,
-                   l.switch_hops};
+    const LegRec& l = recs_[i];
+    return LegView{PortSeq{pool_ + l.port_off, l.port_count, l.tail},
+                   l.end_host, l.switch_hops};
   }
   [[nodiscard]] LegView front() const { return (*this)[0]; }
   [[nodiscard]] LegView back() const { return (*this)[count_ - 1]; }
@@ -110,36 +167,44 @@ class LegRange {
   [[nodiscard]] iterator end() const { return {this, count_}; }
 
  private:
-  const FlatLeg* legs_ = nullptr;
-  const PortId* port_pool_ = nullptr;
+  friend class RouteStore;
+  const PortId* pool_ = nullptr;
   std::uint32_t count_ = 0;
+  LegRec recs_[kMaxRouteLegs];
 };
 
-/// Non-owning view of one route; member names mirror Route so call sites
-/// (`r.total_switch_hops`, `r.legs[i].ports[h]`, `r.switches`) read the
-/// same against either representation.  Trivially copyable; Packet stores
-/// one by value.
+class RouteStore;
+
+/// Non-owning composed view of one route; member names mirror Route so
+/// call sites (`r.total_switch_hops`, `r.legs[i].ports[h]`) read the same
+/// against either representation.  Trivially copyable; Packet stores one
+/// by value.  The full switch walk is no longer carried — consumers that
+/// need it materialize (materialize_route) or track the current switch
+/// while walking the port bytes through the topology.
 struct RouteView {
   SwitchId src_switch = kNoSwitch;
   SwitchId dst_switch = kNoSwitch;
-  LegRange legs;
-  std::span<const SwitchId> switches;
   int total_switch_hops = 0;
+  LegRange legs;
+
+  // Origin locator (store + pair/slot), used by materialize_route.
+  const RouteStore* store = nullptr;
+  std::uint32_t pair_index = 0;
+  std::uint32_t slot = 0;
 
   [[nodiscard]] int num_itbs() const {
     return static_cast<int>(legs.size()) - 1;
   }
 };
 
-class RouteStore;
-
-/// The alternatives of one (src,dst) pair: a random-access range yielding
+/// The alternatives of one (src,dst) pair: a random-access range composing
 /// RouteView by value.
 class AltsView {
  public:
   AltsView() = default;
-  AltsView(const RouteStore* store, std::uint32_t first, std::uint32_t count)
-      : store_(store), first_(first), count_(count) {}
+  AltsView(const RouteStore* store, std::uint32_t pair, std::uint32_t first,
+           std::uint32_t count)
+      : store_(store), pair_(pair), first_(first), count_(count) {}
 
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] bool empty() const { return count_ == 0; }
@@ -168,38 +233,108 @@ class AltsView {
 
  private:
   const RouteStore* store_ = nullptr;
+  std::uint32_t pair_ = 0;
   std::uint32_t first_ = 0;
   std::uint32_t count_ = 0;
 };
 
-/// The five arrays plus build statistics.  Built once by RouteStoreBuilder
-/// (pairs appended strictly in index order, which fixes the pool layout
-/// byte-for-byte regardless of how the staging Routes were produced);
-/// immutable afterwards.
+// ---------------------------------------------------------------------------
+// Store records
+
+enum class StoreTier : std::uint8_t {
+  kFactorized,  // switch-pair core + on-the-fly composition
+  kExplicit,    // instance-flat records with stored end hosts / walks
+};
+
+/// Factorized: one interned leg port walk (switch output ports only).
+struct WalkRec {
+  std::uint32_t port_off = 0;
+  std::uint32_t port_count = 0;
+};
+
+/// Factorized: one distinct route shape.  `alt_tag` is the compile-time
+/// alternative index baked into the ITB host-choice mix; it is part of
+/// route identity so two pairs sharing a walk but compiled at different
+/// alternative positions stay distinct.
+struct RouteRec {
+  std::uint32_t first_walk = 0;  // into route_walks_
+  std::uint16_t leg_count = 0;
+  std::uint16_t alt_tag = 0;
+};
+
+/// Factorized: one distinct alternative list.
+struct AltListRec {
+  std::uint32_t first = 0;  // into alt_routes_
+  std::uint32_t count = 0;
+};
+
+/// Explicit tier: one leg instance.  Ports (including the ITB eject port)
+/// live in the shared port pool; mirrors RouteLeg.
+struct FlatLeg {
+  std::uint32_t port_off = 0;
+  std::uint16_t port_count = 0;
+  std::uint16_t switch_hops = 0;
+  HostId end_host = kNoHost;
+};
+
+/// Explicit tier: one route instance with its stored switch walk.
+struct FlatRoute {
+  SwitchId src_switch = kNoSwitch;
+  SwitchId dst_switch = kNoSwitch;
+  std::uint32_t first_leg = 0;
+  std::uint32_t switch_off = 0;
+  std::uint16_t leg_count = 0;
+  std::uint16_t switch_count = 0;
+  std::int32_t total_switch_hops = 0;
+};
+
+/// Explicit tier: pair index entry.
+struct PairSlot {
+  std::uint32_t first_route = 0;
+  std::uint32_t count = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Store
+
 class RouteStore {
  public:
+  [[nodiscard]] StoreTier tier() const { return tier_; }
+
   [[nodiscard]] AltsView pair(std::size_t pair_index) const {
+    if (tier_ == StoreTier::kFactorized) {
+      const AltListRec& a = altlists_[pair_alt_[pair_index]];
+      return {this, static_cast<std::uint32_t>(pair_index), a.first, a.count};
+    }
     const PairSlot& p = pairs_[pair_index];
-    return {this, p.first_route, p.count};
-  }
-  [[nodiscard]] RouteView route(std::size_t route_index) const {
-    const FlatRoute& r = routes_[route_index];
-    return RouteView{
-        r.src_switch,
-        r.dst_switch,
-        LegRange{legs_.data() + r.first_leg, port_pool_.data(), r.leg_count},
-        {switch_pool_.data() + r.switch_off, r.switch_count},
-        r.total_switch_hops};
+    return {this, static_cast<std::uint32_t>(pair_index), p.first_route,
+            p.count};
   }
 
-  [[nodiscard]] std::size_t num_pairs() const { return pairs_.size(); }
-  [[nodiscard]] std::size_t num_routes() const { return routes_.size(); }
+  /// Compose the view for alternative slot `slot` of `pair_index`.
+  /// Factorized: `slot` indexes alt_routes_; explicit: routes_.
+  [[nodiscard]] RouteView compose(std::uint32_t pair_index,
+                                  std::uint32_t slot) const;
 
-  /// Bytes held by the five arrays (the whole table; excludes the
-  /// fixed-size object header).
+  /// Owning Route for the same locator (exact round-trip on the explicit
+  /// tier; switch walks rederived on the factorized tier).
+  [[nodiscard]] Route materialize(std::uint32_t pair_index,
+                                  std::uint32_t slot) const;
+
+  [[nodiscard]] std::size_t num_pairs() const {
+    return tier_ == StoreTier::kFactorized ? pair_alt_.size() : pairs_.size();
+  }
+  /// Route *instances* (sum of per-pair alternative counts).
+  [[nodiscard]] std::size_t num_routes() const { return num_route_instances_; }
+  [[nodiscard]] int num_switches() const { return num_switches_; }
+
+  /// Bytes held by all arrays — the route core plus (factorized) the
+  /// composition tables; excludes the fixed-size object header.
   [[nodiscard]] std::uint64_t table_bytes() const { return table_bytes_; }
-  /// Leg port sequences that were dedup'd onto an already-interned
-  /// segment instead of growing the pool.
+  /// Bytes of the route core alone (pair index + interned pools, without
+  /// the topology-derived composition tables).
+  [[nodiscard]] std::uint64_t core_bytes() const { return core_bytes_; }
+  /// Leg instances that dedup'd onto an already-interned port walk.
   [[nodiscard]] std::uint64_t segments_shared() const {
     return segments_shared_;
   }
@@ -207,9 +342,32 @@ class RouteStore {
   [[nodiscard]] double build_ms() const { return build_ms_; }
   void set_build_ms(double ms) { build_ms_ = ms; }
 
+  // Distinct-shape counts (factorized tier; zero on the explicit tier).
+  [[nodiscard]] std::size_t distinct_walks() const { return walks_.size(); }
+  [[nodiscard]] std::size_t distinct_routes() const {
+    return core_routes_.size();
+  }
+  [[nodiscard]] std::size_t distinct_altlists() const {
+    return altlists_.size();
+  }
+
   // Raw arrays, exposed for byte-identity tests and debugging.
-  [[nodiscard]] std::span<const PortId> port_pool() const {
-    return port_pool_;
+  [[nodiscard]] std::span<const PortId> port_pool() const { return port_pool_; }
+  [[nodiscard]] std::span<const WalkRec> walks() const { return walks_; }
+  [[nodiscard]] std::span<const std::uint32_t> route_walks() const {
+    return route_walks_;
+  }
+  [[nodiscard]] std::span<const RouteRec> core_routes() const {
+    return core_routes_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> alt_routes() const {
+    return alt_routes_;
+  }
+  [[nodiscard]] std::span<const AltListRec> altlists() const {
+    return altlists_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> pair_altlist() const {
+    return pair_alt_;
   }
   [[nodiscard]] std::span<const SwitchId> switch_pool() const {
     return switch_pool_;
@@ -218,31 +376,61 @@ class RouteStore {
   [[nodiscard]] std::span<const FlatRoute> flat_routes() const {
     return routes_;
   }
-  [[nodiscard]] std::span<const PairSlot> pair_index() const {
-    return pairs_;
-  }
+  [[nodiscard]] std::span<const PairSlot> pair_index() const { return pairs_; }
 
  private:
   friend class RouteStoreBuilder;
+  friend class FactorizedStoreBuilder;
 
+  void compose_factorized(std::uint32_t pair_index, std::uint32_t slot,
+                          RouteView& v) const;
+  void compose_explicit(std::uint32_t pair_index, std::uint32_t slot,
+                        RouteView& v) const;
+
+  StoreTier tier_ = StoreTier::kExplicit;
+  int num_switches_ = 0;
+
+  // Shared pools.
   std::vector<PortId> port_pool_;
+
+  // Factorized tier.
+  std::vector<WalkRec> walks_;
+  std::vector<std::uint32_t> route_walks_;
+  std::vector<RouteRec> core_routes_;
+  std::vector<std::uint32_t> alt_routes_;
+  std::vector<AltListRec> altlists_;
+  std::vector<std::uint32_t> pair_alt_;
+  // Composition tables (derived from the topology at build time).
+  int ports_per_switch_ = 0;
+  std::uint64_t itb_host_salt_ = 0;
+  std::vector<SwitchId> next_switch_;   // [switch * P + port] -> peer switch
+  std::vector<std::uint32_t> sw_host_off_;  // CSR offsets into sw_hosts_
+  std::vector<HostId> sw_hosts_;            // hosts per switch, port order
+  std::vector<PortId> host_port_;           // attachment port per host
+
+  // Explicit tier.
   std::vector<SwitchId> switch_pool_;
   std::vector<FlatLeg> legs_;
   std::vector<FlatRoute> routes_;
   std::vector<PairSlot> pairs_;
+
+  std::uint64_t num_route_instances_ = 0;
   std::uint64_t table_bytes_ = 0;
+  std::uint64_t core_bytes_ = 0;
   std::uint64_t segments_shared_ = 0;
   double build_ms_ = 0.0;
 };
 
 inline RouteView AltsView::operator[](std::size_t i) const {
-  return store_->route(first_ + i);
+  return store_->compose(pair_, first_ + static_cast<std::uint32_t>(i));
 }
 
-/// Incremental store builder.  append_pair must be called exactly once per
+// ---------------------------------------------------------------------------
+// Builders
+
+/// Explicit-tier builder.  append_pair must be called exactly once per
 /// (src,dst) pair in ascending pair-index order; the result is then a pure
-/// function of the appended Route values — bit-identical no matter how
-/// many threads staged them.
+/// function of the appended Route values.
 class RouteStoreBuilder {
  public:
   explicit RouteStoreBuilder(std::size_t num_pairs);
@@ -251,15 +439,88 @@ class RouteStoreBuilder {
   [[nodiscard]] RouteStore finish();
 
  private:
-  [[nodiscard]] std::uint32_t intern_ports(const std::vector<PortId>& ports);
-  [[nodiscard]] std::uint32_t intern_switches(
-      const std::vector<SwitchId>& sws);
-
   RouteStore store_;
-  // Keys are byte copies of the sequences (not views into the growing
-  // pools, which reallocate during build).
-  std::unordered_map<std::string, std::uint32_t> port_segments_;
-  std::unordered_map<std::string, std::uint32_t> switch_segments_;
+  HashInterner port_tab_;
+  HashInterner switch_tab_;
+  std::vector<WalkRec> port_refs_;    // interned spans into port_pool_
+  std::vector<WalkRec> switch_refs_;  // interned spans into switch_pool_
+};
+
+/// Staged factorized rows for a contiguous block of source switches.  All
+/// ids are block-local, assigned in first-appearance order over the
+/// block's (s,d) pair stream — which makes the merged global ids a pure
+/// function of the pair stream, independent of how sources were blocked
+/// across workers.
+struct FactorizedBlock {
+  std::vector<PortId> walk_bytes;
+  std::vector<WalkRec> walks;
+  std::vector<std::uint32_t> route_walks;
+  std::vector<RouteRec> routes;
+  std::vector<std::uint32_t> alt_routes;
+  std::vector<AltListRec> altlists;
+  std::vector<std::uint32_t> pair_alt;
+  std::uint64_t route_instances = 0;
+  std::uint64_t leg_instances = 0;
+
+  void clear();
+};
+
+/// Block-local stager with interning; reusable across blocks (serial
+/// builds keep one and clear between sources).
+class FactorizedBlockStager {
+ public:
+  void begin_block(FactorizedBlock* out);
+
+  /// Interns one leg port walk (switch output ports only, no eject port).
+  std::uint32_t stage_walk(const PortId* ports, std::size_t n);
+  /// Interns one route shape over previously staged walk ids.
+  std::uint32_t stage_route(const std::uint32_t* walk_ids, std::size_t n_legs,
+                            std::uint16_t alt_tag);
+  /// Appends the next pair's alternative list (pairs strictly in (s,d)
+  /// order within the block), interning the list itself.
+  void commit_pair(const std::uint32_t* route_ids, std::size_t n);
+
+  /// Leg count of a staged route (prefer_fewest_itbs ordering).
+  [[nodiscard]] std::uint16_t route_leg_count(std::uint32_t rid) const {
+    return out_->routes[rid].leg_count;
+  }
+
+ private:
+  FactorizedBlock* out_ = nullptr;
+  HashInterner walk_tab_;
+  HashInterner route_tab_;
+  HashInterner alt_tab_;
+};
+
+/// Serial merge of staged blocks into the global factorized store.
+/// Blocks must be appended in ascending source order, covering every
+/// source switch exactly once.
+class FactorizedStoreBuilder {
+ public:
+  FactorizedStoreBuilder(const Topology& topo, std::uint64_t itb_host_salt);
+
+  /// Declares that pairs will be committed destination-major — stream
+  /// position d * S + s instead of s * S + d.  finish() transposes the
+  /// pair index back to the (s, d)-major layout every reader assumes.
+  /// Destination-major staging lets the ITB build reuse one per-destination
+  /// pruned DAG across all sources (see route_builder.cpp).
+  void set_pair_transposed(bool v) { pair_transposed_ = v; }
+
+  void append_block(const FactorizedBlock& block);
+  [[nodiscard]] RouteStore finish();
+
+ private:
+  const Topology* topo_;
+  RouteStore store_;
+  HashInterner walk_tab_;
+  HashInterner route_tab_;
+  HashInterner alt_tab_;
+  std::vector<std::uint32_t> walk_remap_;
+  std::vector<std::uint32_t> route_remap_;
+  std::vector<std::uint32_t> alt_remap_;
+  std::vector<std::uint32_t> scratch_ids_;
+  std::uint64_t leg_instances_ = 0;
+  bool pair_transposed_ = false;
 };
 
 /// Materialize an owning Route from a view (adapter for tests / IO / the

@@ -159,6 +159,9 @@ struct RunResult {
   std::uint64_t route_table_bytes = 0;     // flat-store footprint
   double route_build_ms = 0.0;             // wall-clock table build time
   std::uint64_t route_segments_shared = 0; // dedup'd leg port sequences
+  std::uint64_t route_core_pairs = 0;      // switch pairs the core indexes
+  std::uint64_t route_core_bytes = 0;      // S^2 core (excl. compose tables)
+  double route_compose_ns_avg = 0.0;       // sampled pair-lookup latency
   std::vector<PacketTraceRecord> trace;   // chronological ring snapshot
   /// Windowed time series (simulated-deterministic, compared by
   /// same_simulated_metrics when both runs sampled).

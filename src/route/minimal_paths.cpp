@@ -61,4 +61,17 @@ int count_minimal_paths(const Topology& topo, SwitchId s, SwitchId d,
   return static_cast<int>(enumerate_minimal_paths(topo, s, d, cap).size());
 }
 
+SwitchAdjacency::SwitchAdjacency(const Topology& topo) {
+  const int n = topo.num_switches();
+  off.assign(idx(n) + 1, 0);
+  for (SwitchId u = 0; u < n; ++u) {
+    const auto ports = topo.switch_ports_of(u);
+    off[idx(u) + 1] = off[idx(u)] + static_cast<std::uint32_t>(ports.size());
+    for (const PortId p : ports) {
+      const PortPeer& e = topo.peer(u, p);
+      edges.push_back(Edge{e.sw, e.cable, p});
+    }
+  }
+}
+
 }  // namespace itb

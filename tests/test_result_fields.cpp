@@ -52,6 +52,9 @@ RunResult distinctive_result() {
   r.route_table_bytes = 114;
   r.route_build_ms = 11.25;
   r.route_segments_shared = 115;
+  r.route_core_pairs = 120;
+  r.route_core_bytes = 121;
+  r.route_compose_ns_avg = 13.25;
   r.checked = false;
   r.invariant_violations = 113;
   r.shards = 116;
@@ -167,6 +170,9 @@ TEST(ResultFields, DeterminismComparisonUsesTheRegistryClasses) {
   b.route_table_bytes += 11;
   b.route_build_ms += 0.5;
   b.route_segments_shared += 3;
+  b.route_core_pairs += 19;
+  b.route_core_bytes += 23;
+  b.route_compose_ns_avg += 0.75;
   b.shards += 2;
   b.window_ns += 0.25;
   b.windows_executed += 9;
@@ -190,7 +196,7 @@ TEST(ResultFields, RegistryCoversEveryRunResultScalar) {
   // Drift guard: adding a scalar to RunResult without registering it (or
   // registering without adding) trips this count.  Update BOTH together —
   // result_fields.cpp is the single source the emitters iterate.
-  EXPECT_EQ(result_fields().size(), 33u);
+  EXPECT_EQ(result_fields().size(), 36u);
 }
 
 }  // namespace

@@ -162,11 +162,9 @@ TEST(RouteProperties, AlternativesCappedAndDistinct) {
       EXPECT_LE(alts.size(), 10u);
       for (std::size_t i = 0; i < alts.size(); ++i) {
         for (std::size_t j = i + 1; j < alts.size(); ++j) {
-          const RouteView a = alts[i];
-          const RouteView b = alts[j];
-          EXPECT_FALSE(std::equal(a.switches.begin(), a.switches.end(),
-                                  b.switches.begin(), b.switches.end()) &&
-                       a.legs.size() == b.legs.size())
+          const Route a = materialize_route(alts[i]);
+          const Route b = materialize_route(alts[j]);
+          EXPECT_FALSE(a.switches == b.switches && a.legs.size() == b.legs.size())
               << "pair " << s << "->" << d << " alternatives " << i << "/"
               << j << " identical";
         }

@@ -101,26 +101,33 @@ TEST(RouteStoreDifferential, MinimalFlatMatchesNestedOnLowDiameter) {
 }
 
 TEST(RouteStoreDedup, DenseGraphSharesSegmentsAndRoundTrips) {
-  // On a full mesh every route is one hop, so the port pool should intern
-  // aggressively; the round trip through materialize_nested must still be
-  // loss-free.
+  // On a full mesh every route is one hop, so the walk pool should intern
+  // aggressively; the round trip through materialize_nested (which lands
+  // in the explicit tier) must still be loss-free.
   const Testbed tb(make_full_mesh(16, 2), kAutoRoot);
   const RouteSet& flat = tb.routes(RoutingScheme::kItbSp);
+  EXPECT_EQ(flat.store().tier(), StoreTier::kFactorized);
   EXPECT_GT(flat.segments_shared(), 0u);
   const RouteSet again(flat.materialize_nested());
-  EXPECT_EQ(flat.table_bytes(), again.table_bytes());
+  EXPECT_EQ(again.store().tier(), StoreTier::kExplicit);
   EXPECT_EQ(flat.store().num_routes(), again.store().num_routes());
+  // The factorized core holds distinct shapes only — it must be smaller
+  // than the instance-flat layout of the same table.
+  EXPECT_LT(flat.store().core_bytes(), again.table_bytes());
+  expect_tables_identical("fullmesh roundtrip", again.materialize_nested(),
+                          flat);
 }
 
 TEST(RouteStoreDifferential, MaterializeNestedRoundTrips) {
-  // compress(materialize_nested(flat)) must reproduce the flat arrays —
-  // the two representations carry the same information, in both
-  // directions.
+  // compress(materialize_nested(x)) must reproduce x's arrays for the
+  // explicit tier, and the factorized table must materialize to the same
+  // values — the representations carry the same information.
   const Testbed tb(make_torus_2d(8, 8, 2));
   const RouteSet& flat = tb.routes(RoutingScheme::kItbSp);
-  const RouteSet again(flat.materialize_nested());
-  const RouteStore& a = flat.store();
-  const RouteStore& b = again.store();
+  const RouteSet once(flat.materialize_nested());
+  const RouteSet twice(once.materialize_nested());
+  const RouteStore& a = once.store();
+  const RouteStore& b = twice.store();
   EXPECT_TRUE(std::equal(a.port_pool().begin(), a.port_pool().end(),
                          b.port_pool().begin(), b.port_pool().end()));
   EXPECT_TRUE(std::equal(a.switch_pool().begin(), a.switch_pool().end(),
@@ -128,31 +135,38 @@ TEST(RouteStoreDifferential, MaterializeNestedRoundTrips) {
   EXPECT_EQ(a.num_routes(), b.num_routes());
   EXPECT_EQ(a.num_pairs(), b.num_pairs());
   EXPECT_EQ(a.table_bytes(), b.table_bytes());
+  expect_tables_identical("torus roundtrip", once.materialize_nested(), flat);
 }
 
 // --- dedup property: interned segments reconstruct exactly ---------------
 
 TEST(RouteStoreDedup, SharedSegmentsReconstructByteIdentical) {
   // Build the same table twice: once nested (ground truth sequences), once
-  // flat (interned).  Walk the raw flat arrays — not the view layer — and
-  // check each leg's pool slice and each route's switch slice against the
-  // staged vectors.  This catches offset bookkeeping bugs the view-level
-  // differential could mask if materialize_route had a compensating bug.
+  // factorized (interned).  Walk the raw factorized arrays — not the view
+  // layer — pair_altlist -> altlists -> alt_routes -> core_routes ->
+  // route_walks -> walks -> port_pool, and check every leg's pool slice
+  // against the staged vectors.  This catches offset bookkeeping bugs the
+  // view-level differential could mask if compose() had a compensating
+  // bug.
   const Testbed tb(make_torus_2d(8, 8, 2));
   const NestedRouteTable nested =
       build_itb_routes_nested(tb.topo(), tb.updown());
   const RouteSet flat = build_itb_routes(tb.topo(), tb.updown());
   const RouteStore& store = flat.store();
+  ASSERT_EQ(store.tier(), StoreTier::kFactorized);
 
   // Dedup must actually fire on a regular topology: many pairs share
   // dimension-ordered sub-walks.
   EXPECT_GT(flat.segments_shared(), 0u);
+  EXPECT_LT(store.distinct_routes(), store.num_routes());
 
   const std::span<const PortId> ports = store.port_pool();
-  const std::span<const SwitchId> sws = store.switch_pool();
-  const std::span<const FlatLeg> legs = store.flat_legs();
-  const std::span<const FlatRoute> routes = store.flat_routes();
-  const std::span<const PairSlot> pairs = store.pair_index();
+  const std::span<const WalkRec> walks = store.walks();
+  const std::span<const std::uint32_t> route_walks = store.route_walks();
+  const std::span<const RouteRec> core_routes = store.core_routes();
+  const std::span<const std::uint32_t> alt_routes = store.alt_routes();
+  const std::span<const AltListRec> altlists = store.altlists();
+  const std::span<const std::uint32_t> pair_altlist = store.pair_altlist();
 
   const int n = nested.num_switches();
   for (SwitchId s = 0; s < n; ++s) {
@@ -160,27 +174,28 @@ TEST(RouteStoreDedup, SharedSegmentsReconstructByteIdentical) {
       const std::size_t key = static_cast<std::size_t>(s) *
                                   static_cast<std::size_t>(n) +
                               static_cast<std::size_t>(d);
+      const AltListRec& al = altlists[pair_altlist[key]];
       const std::vector<Route>& want = nested.alternatives(s, d);
-      ASSERT_EQ(pairs[key].count, want.size());
+      ASSERT_EQ(al.count, want.size());
       for (std::size_t i = 0; i < want.size(); ++i) {
-        const FlatRoute& fr = routes[pairs[key].first_route + i];
+        const RouteRec& rr = core_routes[alt_routes[al.first + i]];
         const Route& w = want[i];
-        ASSERT_EQ(fr.leg_count, w.legs.size());
-        ASSERT_EQ(fr.switch_count, w.switches.size());
+        ASSERT_EQ(rr.leg_count, w.legs.size());
+        // Default build options keep DFS order, so the baked alternative
+        // tag is the slot index.
+        EXPECT_EQ(rr.alt_tag, i);
         for (std::size_t li = 0; li < w.legs.size(); ++li) {
-          const FlatLeg& fl = legs[fr.first_leg + li];
+          const WalkRec& wk = walks[route_walks[rr.first_walk + li]];
           const RouteLeg& wl = w.legs[li];
-          ASSERT_EQ(fl.port_count, wl.ports.size());
-          for (std::size_t p = 0; p < wl.ports.size(); ++p) {
-            ASSERT_EQ(ports[fl.port_off + p], wl.ports[p])
+          // Interned walks hold switch output ports only; intermediate
+          // legs of the nested Route carry one extra trailing eject port.
+          const bool final_leg = li + 1 == w.legs.size();
+          ASSERT_EQ(wk.port_count, wl.ports.size() - (final_leg ? 0 : 1));
+          ASSERT_EQ(wk.port_count, static_cast<std::size_t>(wl.switch_hops));
+          for (std::size_t p = 0; p < wk.port_count; ++p) {
+            ASSERT_EQ(ports[wk.port_off + p], wl.ports[p])
                 << s << "->" << d << " alt " << i << " leg " << li;
           }
-          EXPECT_EQ(fl.end_host, wl.end_host);
-          EXPECT_EQ(fl.switch_hops, wl.switch_hops);
-        }
-        for (std::size_t si = 0; si < w.switches.size(); ++si) {
-          ASSERT_EQ(sws[fr.switch_off + si], w.switches[si])
-              << s << "->" << d << " alt " << i;
         }
       }
     }

@@ -35,8 +35,23 @@ void expect_stores_byte_identical(const RouteSet& a, const RouteSet& b,
                                   const std::string& label) {
   const RouteStore& x = a.store();
   const RouteStore& y = b.store();
+  ASSERT_EQ(x.tier(), y.tier()) << label;
+  // Factorized-tier arrays (what the builders produce).
   EXPECT_TRUE(spans_byte_identical(x.port_pool(), y.port_pool(),
                                    "port_pool")) << label;
+  EXPECT_TRUE(spans_byte_identical(x.walks(), y.walks(), "walks")) << label;
+  EXPECT_TRUE(spans_byte_identical(x.route_walks(), y.route_walks(),
+                                   "route_walks")) << label;
+  EXPECT_TRUE(spans_byte_identical(x.core_routes(), y.core_routes(),
+                                   "core_routes")) << label;
+  EXPECT_TRUE(spans_byte_identical(x.alt_routes(), y.alt_routes(),
+                                   "alt_routes")) << label;
+  EXPECT_TRUE(spans_byte_identical(x.altlists(), y.altlists(),
+                                   "altlists")) << label;
+  EXPECT_TRUE(spans_byte_identical(x.pair_altlist(), y.pair_altlist(),
+                                   "pair_altlist")) << label;
+  // Explicit-tier arrays (empty on factorized stores, compared anyway so
+  // the helper also covers RouteSet(nested)-built stores).
   EXPECT_TRUE(spans_byte_identical(x.switch_pool(), y.switch_pool(),
                                    "switch_pool")) << label;
   EXPECT_TRUE(spans_byte_identical(x.flat_legs(), y.flat_legs(),

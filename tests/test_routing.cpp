@@ -239,8 +239,9 @@ void check_route_walk(const Topology& t, const RouteView& r,
     }
   }
   EXPECT_EQ(at, r.dst_switch);
-  EXPECT_EQ(visited,
-            std::vector<SwitchId>(r.switches.begin(), r.switches.end()));
+  // The store's own reconstruction (composition tables / stored walk) must
+  // agree with the topology walk above.
+  EXPECT_EQ(visited, materialize_route(r).switches);
 }
 
 TEST(RouteBuilder, UpdownRoutesWalkTheTopology) {

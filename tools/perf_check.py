@@ -235,6 +235,62 @@ def main():
                   f"{cell.get('testbed', '?')} reported {violations} "
                   "invariant violation(s) under checked runs")
 
+    # Route-scale smoke (PR 9): the switch-pair factorized store across the
+    # topology ladder.  Table footprints are deterministic (byte counts, not
+    # rates), so growth beyond the tolerance warns; build times are
+    # informational.  Against a pre-factorization baseline (no route_scale
+    # section) the instance-flat cells of lowdiameter_scale double as the
+    # reference, and the factorization must show at least the 10x build and
+    # footprint improvement it was introduced for.
+    def scale_key(cell):
+        return (cell.get("testbed"), cell.get("scheme"))
+
+    fresh_scale = fresh_record.get("route_scale", {}).get("cells", [])
+    base_scale = {scale_key(c): c
+                  for c in baseline_record.get("route_scale", {})
+                  .get("cells", [])}
+    base_flat = {scale_key(c): c
+                 for c in baseline_record.get("lowdiameter_scale", {})
+                 .get("cells", [])}
+    for cell in fresh_scale:
+        label = f"{cell.get('testbed', '?')}/{cell.get('scheme', '?')}"
+        bytes_now = cell.get("table_bytes", 0)
+        print(f"  route-scale {label}: {bytes_now / 1024.0:.1f} KiB "
+              f"(core {cell.get('core_bytes', 0) / 1024.0:.1f} KiB), "
+              f"build {cell.get('build_ms', 0):.1f} ms, "
+              f"compose {cell.get('compose_ns_avg', 0):.0f} ns")
+        explicit = cell.get("explicit_table_bytes", 0)
+        if explicit and bytes_now >= explicit:
+            regressions += 1
+            print(f"::warning title=perf-smoke::route-scale {label}: "
+                  f"factorized table ({bytes_now} B) not smaller than the "
+                  f"instance-flat tier ({explicit} B)")
+        prior = base_scale.get(scale_key(cell))
+        if prior and prior.get("table_bytes"):
+            growth = bytes_now / prior["table_bytes"] - 1.0
+            if growth > args.tolerance:
+                regressions += 1
+                print(f"::warning title=perf-smoke::route-scale {label} "
+                      f"table grew {growth * 100.0:.1f}% "
+                      f"({prior['table_bytes']} -> {bytes_now} B)")
+        elif scale_key(cell) in base_flat:
+            flat = base_flat[scale_key(cell)]
+            shrink = flat.get("table_bytes", 0) / max(bytes_now, 1)
+            speedup = flat.get("build_ms", 0.0) / max(
+                cell.get("build_ms", 0.0), 1e-9)
+            print(f"  route-scale {label} vs instance-flat baseline: "
+                  f"{shrink:.1f}x smaller, {speedup:.1f}x faster build")
+            if shrink < 10.0:
+                regressions += 1
+                print(f"::warning title=perf-smoke::route-scale {label} "
+                      f"factorized table only {shrink:.1f}x smaller than "
+                      "the instance-flat baseline (floor 10x)")
+            if speedup < 10.0:
+                regressions += 1
+                print(f"::warning title=perf-smoke::route-scale {label} "
+                      f"factorized build only {speedup:.1f}x faster than "
+                      "the instance-flat baseline (floor 10x)")
+
     # Parallel-efficiency smoke: the workspace layer's headline number.
     base_eff = parallel_efficiency(baseline_record)
     fresh_eff = parallel_efficiency(fresh_record)

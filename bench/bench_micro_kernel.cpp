@@ -528,6 +528,31 @@ int run_json_mode(const BenchOptions& opts) {
   const double profiled_overhead =
       1.0 - profiled.events_per_sec / tele_off.events_per_sec;
 
+  // Sharded telemetry A/B: tracing/profiling no longer fall back to
+  // serial, so their cost under the parallel engine is a perf surface of
+  // its own — per-lane rings + the keyed record path + the harvest merge.
+  // The disabled sharded baseline is measured fresh (same tweak shape) so
+  // the overhead fraction isolates telemetry, not sharding.
+  const auto sharded_tweak = [](RunConfig& c) {
+    c.engine = EngineKind::kPodParallel;
+    c.shards = 4;
+  };
+  const RunResult sh_off = telemetry_point(tb, opts, sharded_tweak);
+  const RunResult sh_traced = telemetry_point(tb, opts, [](RunConfig& c) {
+    c.engine = EngineKind::kPodParallel;
+    c.shards = 4;
+    c.trace = true;
+  });
+  const RunResult sh_profiled = telemetry_point(tb, opts, [](RunConfig& c) {
+    c.engine = EngineKind::kPodParallel;
+    c.shards = 4;
+    c.profile = true;
+  });
+  const double sh_traced_overhead =
+      1.0 - sh_traced.events_per_sec / sh_off.events_per_sec;
+  const double sh_profiled_overhead =
+      1.0 - sh_profiled.events_per_sec / sh_off.events_per_sec;
+
   std::printf("engine kernel (%zu held, %llu ops):\n", kHeld,
               static_cast<unsigned long long>(ops));
   std::printf("  legacy  %8.2f Mops/s\n", legacy_ops / 1e6);
@@ -554,6 +579,17 @@ int run_json_mode(const BenchOptions& opts) {
               sampled.samples.size());
   std::printf("  profiled %8.2f Mev/s   overhead %+.1f%%\n",
               profiled.events_per_sec / 1e6, profiled_overhead * 100.0);
+  std::printf("telemetry cost sharded (pod_parallel K=%llu, best of 3):\n",
+              static_cast<unsigned long long>(sh_off.shards));
+  std::printf("  disabled %8.2f Mev/s\n", sh_off.events_per_sec / 1e6);
+  std::printf("  traced   %8.2f Mev/s   overhead %+.1f%%   records %llu   "
+              "barrier %.1f ms\n",
+              sh_traced.events_per_sec / 1e6, sh_traced_overhead * 100.0,
+              static_cast<unsigned long long>(sh_traced.trace_records),
+              sh_traced.barrier_wait_ms);
+  std::printf("  profiled %8.2f Mev/s   overhead %+.1f%%   imbalance %.2f\n",
+              sh_profiled.events_per_sec / 1e6, sh_profiled_overhead * 100.0,
+              sh_profiled.lane_imbalance);
   std::printf("route store (ITB table, 512-host torus, best of 3):\n");
   std::printf("  nested build %8.2f ms   %8.2f KiB\n", rs_ab.nested_build_ms,
               static_cast<double>(rs_ab.nested_bytes) / 1024.0);
@@ -624,6 +660,15 @@ int run_json_mode(const BenchOptions& opts) {
   w.key("trace_dropped").value(traced.trace_dropped);
   w.key("sample_windows")
       .value(static_cast<std::uint64_t>(sampled.samples.size()));
+  w.key("sharded_shards").value(sh_off.shards);
+  w.key("sharded_disabled_events_per_sec").value(sh_off.events_per_sec);
+  w.key("sharded_traced_events_per_sec").value(sh_traced.events_per_sec);
+  w.key("sharded_profiled_events_per_sec").value(sh_profiled.events_per_sec);
+  w.key("sharded_traced_overhead_frac").value(sh_traced_overhead);
+  w.key("sharded_profiled_overhead_frac").value(sh_profiled_overhead);
+  w.key("sharded_trace_records").value(sh_traced.trace_records);
+  w.key("sharded_barrier_wait_ms").value(sh_traced.barrier_wait_ms);
+  w.key("sharded_lane_imbalance").value(sh_traced.lane_imbalance);
   w.end_object();
   w.key("route_store").begin_object();
   w.key("testbed").value("torus 8x8, 8 hosts/switch (512 hosts)");

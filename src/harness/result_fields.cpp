@@ -115,6 +115,20 @@ constexpr ResultField kFields[] = {
      [](const RunResult& r) { return boolean(r.checked); }},
     {"invariant_violations", FieldType::kU64, kSim,
      [](const RunResult& r) { return u64(r.invariant_violations); }},
+    // Engine health layer (kHost like the parallel-engine block above:
+    // barrier waits and mailbox depths are execution artefacts, not
+    // simulated outcomes).  Appended after the pinned kSim rows so the
+    // canonical JSON order — and the committed goldens — are untouched.
+    {"barrier_wait_ms", FieldType::kF64, kHost,
+     [](const RunResult& r) { return f64(r.barrier_wait_ms); }},
+    {"lane_imbalance", FieldType::kF64, kHost,
+     [](const RunResult& r) { return f64(r.lane_imbalance); }},
+    {"mailbox_depth_peak", FieldType::kU64, kHost,
+     [](const RunResult& r) { return u64(r.mailbox_depth_peak); }},
+    {"cross_lane_credits", FieldType::kU64, kHost,
+     [](const RunResult& r) { return u64(r.cross_lane_credits); }},
+    {"trace_dropped_max_lane", FieldType::kU64, kHost,
+     [](const RunResult& r) { return u64(r.trace_dropped_max_lane); }},
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <optional>
@@ -84,15 +85,14 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
                        const RunConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
   const RouteSet& routes = tb.routes(scheme);
-  // Serial fallback for runs that need serial-only machinery: the packet
-  // tracer and phase profiler write one shared buffer from every handler,
-  // and the adaptive selector feeds delivered-latency back into route
-  // choice — all three are inherently single-threaded.  RunResult::shards
-  // reports what actually ran.
+  // Serial fallback for the one run kind that still needs serial-only
+  // machinery: the adaptive selector feeds delivered-latency back into
+  // route choice through one shared feedback table.  Tracing and profiling
+  // run sharded — each lane writes its own ring/profiler, merged at
+  // harvest.  RunResult::shards reports what actually ran.
   EngineKind engine = cfg.engine;
   if (engine == EngineKind::kPodParallel &&
-      (cfg.trace || cfg.profile ||
-       policy_of(scheme) == PathPolicy::kAdaptive)) {
+      policy_of(scheme) == PathPolicy::kAdaptive) {
     engine = EngineKind::kPod;
   }
   ws.prepare(engine, tb.topo(), routes, cfg.params, policy_of(scheme),
@@ -129,15 +129,37 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
   // Telemetry attachments: the workspace owns the buffers (so their storage
   // survives reuse); the network only sees non-null pointers when this run
   // asked for them — disabled runs pay one untaken branch per hook.
+  // Sharded runs get one ring/profiler per lane, written lock-free by the
+  // owning worker and merged at harvest (see obs/trace.hpp).
+  const int k = par ? eng.lanes() : 0;
   if (cfg.trace) {
-    ws.tracer().configure(cfg.trace_capacity);
-    net.set_tracer(&ws.tracer());
+    if (par) {
+      PacketTracer* lt = ws.lane_tracers(k);
+      for (int i = 0; i < k; ++i) {
+        lt[i].configure_lane(cfg.trace_capacity,
+                             static_cast<std::uint8_t>(i));
+      }
+      net.set_tracer(lt);
+    } else {
+      ws.tracer().configure(cfg.trace_capacity);
+      net.set_tracer(&ws.tracer());
+    }
   }
   PhaseProfiler* prof = nullptr;
   if (cfg.profile) {
     ws.profiler().clear();
     prof = &ws.profiler();
     net.set_profiler(prof);
+    if (par) {
+      PhaseProfiler* lp = ws.lane_profilers(k);
+      for (int i = 0; i < k; ++i) lp[i].clear();
+      net.set_lane_profilers(lp);
+    }
+  }
+  // Per-window health rings feed the Perfetto lane tracks; only worth the
+  // per-window bookkeeping when something will export them.
+  if (par && (cfg.trace || cfg.profile)) {
+    eng.enable_window_stats(4096);
   }
 
   std::optional<DeadlockWatchdog> watchdog;
@@ -176,7 +198,7 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
       // changes how work packs into barrier windows but never the per-lane
       // (time, key) event order, so the same holds there.)
       sampler.begin(sim.now(), cfg.sample_link_util, engine_counters(), net,
-                    metrics);
+                    metrics, cfg.sample_itb_pool);
       for (TimePs b = cfg.warmup + cfg.sample_period; b < window_end;
            b += cfg.sample_period) {
         advance(b);
@@ -254,6 +276,11 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
     r.windows_executed = eng.windows_executed();
     r.boundary_events = eng.boundary_events();
     r.boundary_ties = eng.order_ties() + net.delivery_ties();
+    r.barrier_wait_ms =
+        static_cast<double>(eng.barrier_wait_ns_total()) / 1e6;
+    r.lane_imbalance = eng.lane_imbalance();
+    r.mailbox_depth_peak = eng.mailbox_depth_peak();
+    r.cross_lane_credits = eng.cross_lane_credits();
   }
   r.events_coalesced = net.chunk_events_coalesced();
   r.route_table_bytes = routes.table_bytes();
@@ -266,15 +293,43 @@ RunResult run_point_in(SimWorkspace& ws, const Testbed& tb,
   r.arena_bytes_peak = net.arena_bytes_peak();
   r.heap_allocs_steady_state = net.heap_allocs_this_run();
   if (cfg.trace) {
-    r.trace_records = ws.tracer().recorded();
-    r.trace_dropped = ws.tracer().dropped();
-    r.trace = ws.tracer().snapshot();
-    ws.tracer().disable();
+    if (par) {
+      // Per-lane rings: sum the bookkeeping, then merge into the serial
+      // record order (dense packet-id renumber included).
+      PacketTracer* lt = ws.lane_tracers(k);
+      for (int i = 0; i < k; ++i) {
+        r.trace_records += lt[i].recorded();
+        r.trace_dropped += lt[i].dropped();
+        r.trace_dropped_max_lane =
+            std::max(r.trace_dropped_max_lane, lt[i].dropped());
+        lt[i].disable();
+      }
+      r.trace = merge_lane_traces(lt, static_cast<std::size_t>(k));
+    } else {
+      r.trace_records = ws.tracer().recorded();
+      r.trace_dropped = ws.tracer().dropped();
+      r.trace = ws.tracer().snapshot();
+      ws.tracer().disable();
+    }
     net.set_tracer(nullptr);
   }
   if (cfg.profile) {
     const auto& totals = ws.profiler().totals();
     r.profile.assign(totals.begin(), totals.end());
+    if (par) {
+      // Element-wise sum of the lane profilers into the coordinator's
+      // aggregate: per-event phases accrue on lanes, harness phases on the
+      // coordinator, so the union is the whole run.
+      PhaseProfiler* lp = ws.lane_profilers(k);
+      for (int i = 0; i < k; ++i) {
+        const auto& lane_totals = lp[i].totals();
+        for (std::size_t p = 0; p < r.profile.size(); ++p) {
+          r.profile[p].wall_ns += lane_totals[p].wall_ns;
+          r.profile[p].calls += lane_totals[p].calls;
+        }
+      }
+      net.set_lane_profilers(nullptr);
+    }
     net.set_profiler(nullptr);
   }
   const auto wall = std::chrono::steady_clock::now() - wall_start;
@@ -310,7 +365,7 @@ bool same_simulated_metrics(const RunResult& a, const RunResult& b) {
             t.accepted_flits_per_ns_per_switch ||
         s.avg_latency_ns != t.avg_latency_ns || s.events != t.events ||
         s.queue_len != t.queue_len || s.itb_pool_frac != t.itb_pool_frac ||
-        s.link_util != t.link_util) {
+        s.link_util != t.link_util || s.itb_pool != t.itb_pool) {
       return false;
     }
   }

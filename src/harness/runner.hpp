@@ -50,9 +50,10 @@ struct RunConfig {
   /// cross-engine determinism tests; normally leave the default).
   /// kPodParallel shards one simulation across `shards` worker threads with
   /// the conservative window engine (sim/parallel_engine.hpp) and produces
-  /// identical simulated metrics to kPod.  Runs that need serial-only
-  /// machinery (packet tracing, the adaptive path selector's feedback loop)
-  /// fall back to kPod; RunResult::shards reports what actually ran.
+  /// identical simulated metrics to kPod.  Tracing and profiling run
+  /// sharded (per-lane rings, merged at harvest); only the adaptive path
+  /// selector's feedback loop still falls back to kPod.  RunResult::shards
+  /// reports what actually ran.
   EngineKind engine = kDefaultEngine;
   /// Worker-lane count for kPodParallel (clamped to the topology's switch
   /// count and the engine's lane cap; ignored by the serial engines).
@@ -81,6 +82,11 @@ struct RunConfig {
   TimePs sample_period = 0;
   /// Also capture per-channel busy fractions in each window's sample.
   bool sample_link_util = false;
+  /// Also capture per-host ITB-pool occupancy fractions in each window's
+  /// sample — the congestion heatmap's second axis (see
+  /// write_heatmap_csv in obs/samplers.hpp).  Works under sharding: the
+  /// sampler reads at window-sync points only.
+  bool sample_itb_pool = false;
   /// Run the phase profiler (wall-clock, host-side) over this point.
   bool profile = false;
 };
@@ -134,6 +140,17 @@ struct RunResult {
   /// the merge (cross-lane pushes at one instant) plus cross-lane delivery
   /// ties at flush.  Zero means the run was order-deterministic end to end.
   std::uint64_t boundary_ties = 0;
+
+  // Engine health layer (host-side; all zero for serial points).  How well
+  // the sharding performed: time lost at barriers, how evenly work spread
+  // over lanes, and how deep the cross-lane mailboxes backed up.
+  double barrier_wait_ms = 0.0;         // summed lane wall-time at barriers
+  double lane_imbalance = 0.0;          // max/mean of per-lane event counts
+  std::uint64_t mailbox_depth_peak = 0; // deepest (from,to) mailbox backlog
+  std::uint64_t cross_lane_credits = 0; // stop/go credits among boundary msgs
+  /// Worst per-lane ring-wrap drop count of a sharded traced run (serial
+  /// traced runs report 0 here; total drops stay in trace_dropped).
+  std::uint64_t trace_dropped_max_lane = 0;
 
   // Allocation observability (host-side, excluded from determinism
   // comparisons: a reused workspace legitimately reports different values

@@ -192,13 +192,14 @@ void Network::reset(const Topology& topo, const RouteSet& routes,
   event_sink_ = nullptr;
   tracer_ = nullptr;
   prof_ = nullptr;
+  lane_profs_ = nullptr;
   delivery_ties_ = 0;
   checks_.clear();
   heap_allocs_run_base_ = total_heap_allocs();
 }
 
 void Network::handle_event(const Event& e) {
-  ScopedPhase phase(prof_, Phase::kEventDispatch);
+  ScopedPhase phase(cur_prof(), Phase::kEventDispatch);
   dispatch_event(e);
 }
 
@@ -217,6 +218,9 @@ void Network::shard_apply_boundary(const BoundaryMsg& m) {
 
 void Network::flush_deliveries() {
   if (par_ == nullptr) return;
+  // Coordinator-side metrics attribution: the replay below is the sharded
+  // counterpart of the serial delivery-callback scope in deliver().
+  ScopedPhase phase(prof_, Phase::kMetrics);
   // K-way merge of the per-lane time-ordered buffers by (deliver_time,
   // lane) — the order the serial engine's single callback stream would
   // have, up to cross-lane same-picosecond pairs, which are counted so a
@@ -371,10 +375,7 @@ void Network::inject(HostId src, HostId dst, int payload_bytes) {
   ++l.injected;
   n.source_queue.push_back(p);
   emit_event(p, PacketEvent::kInjected, kNoSwitch, src);
-  if (tracer_) {
-    tracer_->record(cursim().now(), TraceKind::kInject, p->id, -1, kNoSwitch,
-                    src);
-  }
+  trace(TraceKind::kInject, p->id, -1, kNoSwitch, src);
   nic_try_start(src);
 }
 
@@ -398,10 +399,7 @@ void Network::nic_try_start(HostId h) {
   }
   if (p == nullptr) return;
   c.owner = p;
-  if (tracer_) {
-    tracer_->record(cursim().now(), TraceKind::kChanAcquire, p->id,
-                    n.to_switch, kNoSwitch, h);
-  }
+  trace(TraceKind::kChanAcquire, p->id, n.to_switch, kNoSwitch, h);
   c.src_in_ch = -1;
   c.flow_len = p->leg_wire_flits;
   c.sent = 0;
@@ -521,10 +519,7 @@ void Network::chunk_sent(ChannelId ch, int k) {
 void Network::sender_done(ChannelId ch) {
   Channel& c = chan(ch);
   Packet* p = c.owner;
-  if (tracer_) {
-    tracer_->record(cursim().now(), TraceKind::kChanRelease, p->id, ch,
-                    c.src_sw, c.src_host);
-  }
+  trace(TraceKind::kChanRelease, p->id, ch, c.src_sw, c.src_host);
 
   if (c.from_switch) {
     Channel& in = chan(c.src_in_ch);
@@ -662,7 +657,7 @@ void Network::burst_arrived(ChannelId ch, int flits) {
 }
 
 void Network::process_header(ChannelId in_ch) {
-  ScopedPhase phase(prof_, Phase::kRouteLookup);
+  ScopedPhase phase(cur_prof(), Phase::kRouteLookup);
   Channel& in = chan(in_ch);
   BufferEntry& e = in.entries.front();
   assert(!e.header_done && e.arrived_raw > 0);
@@ -678,10 +673,7 @@ void Network::process_header(ChannelId in_ch) {
   }
   Packet* p = e.pkt;
   emit_event(p, PacketEvent::kHeaderAtSwitch, in.dst_sw, kNoHost);
-  if (tracer_) {
-    tracer_->record(cursim().now(), TraceKind::kHeader, p->id, in_ch,
-                    in.dst_sw, kNoHost);
-  }
+  trace(TraceKind::kHeader, p->id, in_ch, in.dst_sw, kNoHost);
   const PortId port = p->next_port();
   const ChannelId out_ch = out_channel(in.dst_sw, port);
   assert(out_ch >= 0 && "route names an unconnected port");
@@ -708,10 +700,7 @@ void Network::grant(ChannelId out_ch, ChannelId in_ch, Packet* pkt) {
   assert(out.owner == nullptr);
   assert(!in.entries.empty() && in.entries.front().pkt == pkt);
   out.owner = pkt;
-  if (tracer_) {
-    tracer_->record(cursim().now(), TraceKind::kChanAcquire, pkt->id, out_ch,
-                    out.src_sw, kNoHost);
-  }
+  trace(TraceKind::kChanAcquire, pkt->id, out_ch, out.src_sw, kNoHost);
   out.src_in_ch = in_ch;
   out.flow_len = in.entries.front().total_flits - 1;
   out.sent = 0;
@@ -807,10 +796,7 @@ void Network::nic_header_arrived(ChannelId in_ch, BufferEntry& entry) {
   entry.is_delivery = false;
   ++p->itbs_used;
   emit_event(p, PacketEvent::kEjectedAtItb, kNoSwitch, chan(in_ch).dst_host);
-  if (tracer_) {
-    tracer_->record(cursim().now(), TraceKind::kEject, p->id, in_ch, kNoSwitch,
-                    chan(in_ch).dst_host);
-  }
+  trace(TraceKind::kEject, p->id, in_ch, kNoSwitch, chan(in_ch).dst_host);
   Nic& n = nic(chan(in_ch).dst_host);
   const std::int64_t need = entry.total_flits;  // one byte per flit
   TimePs ready_delay = params_.itb_detect_delay + params_.itb_dma_delay;
@@ -827,10 +813,7 @@ void Network::nic_header_arrived(ChannelId in_ch, BufferEntry& entry) {
     p->spilled_to_host_memory = true;
     entry.reserved_bytes = 0;
     ready_delay += params_.host_memory_penalty;
-    if (tracer_) {
-      tracer_->record(cursim().now(), TraceKind::kSpill, p->id, in_ch,
-                      kNoSwitch, n.id);
-    }
+    trace(TraceKind::kSpill, p->id, in_ch, kNoSwitch, n.id);
   }
   if (pod_) {
     // The in-transit host and its NIC live on this lane, so the ready event
@@ -852,10 +835,7 @@ void Network::itb_ready(Packet* p) {
                                            p->payload_flits,
                                            params_.type_bytes);
   emit_event(p, PacketEvent::kReinjectionReady, kNoSwitch, host);
-  if (tracer_) {
-    tracer_->record(cursim().now(), TraceKind::kReinject, p->id, -1, kNoSwitch,
-                    host);
-  }
+  trace(TraceKind::kReinject, p->id, -1, kNoSwitch, host);
   Nic& n = nic(host);
   n.itb_queue.push_back(p);
   nic_try_start(host);
@@ -876,10 +856,7 @@ void Network::deliver(ChannelId in_ch, BufferEntry& entry) {
                       "more packets delivered than injected");
   }
   emit_event(p, PacketEvent::kDelivered, kNoSwitch, p->dst);
-  if (tracer_) {
-    tracer_->record(cursim().now(), TraceKind::kDeliver, p->id, in_ch,
-                    kNoSwitch, p->dst);
-  }
+  trace(TraceKind::kDeliver, p->id, in_ch, kNoSwitch, p->dst);
 
   const DeliveryRecord rec{p->src, p->dst, p->payload_flits, p->gen_time,
                            p->inject_time, p->deliver_time, p->itbs_used,

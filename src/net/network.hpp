@@ -151,13 +151,25 @@ class Network : public PodHandler, public ShardHooks {
 
   /// Attach a packet-lifecycle tracer (src/obs/trace.hpp).  Null disables;
   /// every hot-path hook is a single null test when disabled.  Cleared by
-  /// reset().
+  /// reset().  Sharded runs instead pass the BASE of an array of one tracer
+  /// per lane (each configured via PacketTracer::configure_lane): every
+  /// hook then appends to the executing lane's ring, lock-free, stamping
+  /// the shard key of the current event so merge_lane_traces() can rebuild
+  /// the serial record order.
   void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
 
   /// Attach a phase profiler (src/obs/profiler.hpp) timing event dispatch,
   /// route lookup, ledger audits and the metrics callback.  Null disables.
-  /// Cleared by reset().
+  /// Cleared by reset().  In a sharded run this profiler keeps the
+  /// coordinator-side phases (ledger audits, delivery-replay metrics);
+  /// set_lane_profilers() supplies the per-lane ones.
   void set_profiler(PhaseProfiler* prof) { prof_ = prof; }
+
+  /// Sharded runs: base of an array of one PhaseProfiler per lane.  The
+  /// hot per-event phases (event dispatch, route lookup) are timed into the
+  /// executing lane's profiler — wall-clock attribution per worker thread,
+  /// which is exactly the load-imbalance signal.  Cleared by reset().
+  void set_lane_profilers(PhaseProfiler* base) { lane_profs_ = base; }
 
   /// Queue a message (ready in the source NIC's memory now) for injection.
   void inject(HostId src, HostId dst, int payload_bytes);
@@ -288,6 +300,12 @@ class Network : public PodHandler, public ShardHooks {
     std::int64_t total = 0;
     for (const Nic& n : nics_) total += n.itb_pool_used;
     return total;
+  }
+
+  /// Bytes currently reserved in one NIC's ITB pool (heatmap sampler:
+  /// per-host occupancy signal; read at window-sync points).
+  [[nodiscard]] std::int64_t itb_pool_used(HostId h) const {
+    return nics_[static_cast<std::size_t>(h)].itb_pool_used;
   }
 
   /// Diagnostic dump of every busy channel (owner, progress, flow-control
@@ -432,6 +450,31 @@ class Network : public PodHandler, public ShardHooks {
   void free_packet(Packet* p);
   void emit_event(const Packet* p, PacketEvent ev, SwitchId sw, HostId host);
 
+  /// Lifecycle hook shared by every trace site.  Disabled cost is the one
+  /// null test on tracer_ (serial and sharded alike).  Sharded runs append
+  /// to the executing lane's ring with the current event's shard key —
+  /// lock-free, because only the owning worker writes a lane's ring.
+  void trace(TraceKind kind, std::uint64_t packet, ChannelId ch, SwitchId sw,
+             HostId host) {
+    if (tracer_ == nullptr) return;
+    if (par_ != nullptr) {
+      Simulator& s = *shard::tl_sim;
+      tracer_[shard::tl_lane].record_keyed(s.now(), s.current_key(), kind,
+                                           packet, ch, sw, host);
+    } else {
+      tracer_->record(sim_->now(), kind, packet, ch, sw, host);
+    }
+  }
+
+  /// Profiler for the calling thread's hot per-event phases: the lane's
+  /// own profiler while sharded handlers run, the primary one serially.
+  [[nodiscard]] PhaseProfiler* cur_prof() const {
+    if (par_ == nullptr) return prof_;
+    return lane_profs_ == nullptr
+               ? nullptr
+               : lane_profs_ + static_cast<std::size_t>(shard::tl_lane);
+  }
+
   /// Schedule an engine step `delay` from now.  POD engine: a trivially
   /// copyable Event record; legacy engine: the original std::function
   /// closure.  Both push at the same moment, so the (time, push-order)
@@ -519,7 +562,9 @@ class Network : public PodHandler, public ShardHooks {
   DeliveryCallback on_delivery_;
   PacketEventSink event_sink_;
   PacketTracer* tracer_ = nullptr;   // null unless a run asked for tracing
+                                     // (sharded: base of a per-lane array)
   PhaseProfiler* prof_ = nullptr;    // null unless a run asked for profiling
+  PhaseProfiler* lane_profs_ = nullptr;  // sharded: base of per-lane array
   // The (arena blocks + packet growth) watermark captured at the last
   // reset — see heap_allocs_this_run.
   std::uint64_t heap_allocs_run_base_ = 0;

@@ -11,16 +11,17 @@ namespace itb {
 
 void TimeSeriesSampler::begin(TimePs now, bool link_util, const Simulator& sim,
                               const Network& net,
-                              const MetricsCollector& metrics) {
-  begin(now, link_util,
-        EngineCounters{sim.events_executed(), sim.queue_len()}, net, metrics);
+                              const MetricsCollector& metrics, bool itb_pool) {
+  begin(now, link_util, EngineCounters{sim.events_executed(), sim.queue_len()},
+        net, metrics, itb_pool);
 }
 
 void TimeSeriesSampler::begin(TimePs now, bool link_util, EngineCounters eng,
                               const Network& net,
-                              const MetricsCollector& metrics) {
+                              const MetricsCollector& metrics, bool itb_pool) {
   samples_.clear();
   link_util_ = link_util;
+  itb_pool_ = itb_pool;
   last_t_ = now;
   last_delivered_ = metrics.delivered();
   last_flits_ = metrics.delivered_flits();
@@ -77,6 +78,21 @@ void TimeSeriesSampler::sample(TimePs now, EngineCounters eng,
                               static_cast<double>(pool_capacity)
                         : 0.0;
 
+  if (itb_pool_) {
+    const auto hosts = static_cast<std::size_t>(net.topology().num_hosts());
+    const std::int64_t per_host = net.params().itb_pool_bytes;
+    s.itb_pool.resize(hosts);
+    for (std::size_t h = 0; h < hosts; ++h) {
+      s.itb_pool[h] =
+          per_host > 0
+              ? static_cast<float>(
+                    static_cast<double>(net.itb_pool_used(
+                        static_cast<HostId>(h))) /
+                    static_cast<double>(per_host))
+              : 0.0f;
+    }
+  }
+
   if (link_util_ && now > last_t_) {
     s.link_util.resize(prev_busy_.size());
     for (std::size_t ch = 0; ch < prev_busy_.size(); ++ch) {
@@ -124,6 +140,23 @@ void append_samples_csv(const std::string& path, const std::string& experiment,
        << s.accepted_flits_per_ns_per_switch << ',' << s.avg_latency_ns << ','
        << s.events << ',' << s.queue_len << ',' << s.itb_pool_frac << ','
        << mean_util << ',' << max_util << '\n';
+  }
+}
+
+void write_heatmap_csv(const std::string& path,
+                       const std::vector<TimeSeriesSample>& samples) {
+  std::ofstream os(path, std::ios::trunc);
+  os << "metric,id,window,t_start_ps,t_end_ps,value\n";
+  for (std::size_t w = 0; w < samples.size(); ++w) {
+    const TimeSeriesSample& s = samples[w];
+    for (std::size_t ch = 0; ch < s.link_util.size(); ++ch) {
+      os << "link_util," << ch << ',' << w << ',' << s.t_start << ','
+         << s.t_end << ',' << s.link_util[ch] << '\n';
+    }
+    for (std::size_t h = 0; h < s.itb_pool.size(); ++h) {
+      os << "itb_pool," << h << ',' << w << ',' << s.t_start << ',' << s.t_end
+         << ',' << s.itb_pool[h] << '\n';
+    }
   }
 }
 

@@ -46,6 +46,11 @@ struct TimeSeriesSample {
   /// Per-channel busy fraction over this window (indexed by ChannelId);
   /// empty unless link sampling was requested.
   std::vector<float> link_util;
+  /// Per-host ITB-pool occupancy (fraction of itb_pool_bytes) at the
+  /// window's end (indexed by HostId); empty unless heatmap sampling was
+  /// requested.  Read at sync points, so it works identically under
+  /// sharding — the lanes are quiescent whenever a window closes.
+  std::vector<float> itb_pool;
 };
 
 /// Engine-level counters a sample reads.  The serial overloads fill this
@@ -66,9 +71,11 @@ class TimeSeriesSampler {
   /// Network::reset_channel_stats).  `link_util` additionally records
   /// per-channel busy fractions each window.
   void begin(TimePs now, bool link_util, const Simulator& sim,
-             const Network& net, const MetricsCollector& metrics);
+             const Network& net, const MetricsCollector& metrics,
+             bool itb_pool = false);
   void begin(TimePs now, bool link_util, EngineCounters eng,
-             const Network& net, const MetricsCollector& metrics);
+             const Network& net, const MetricsCollector& metrics,
+             bool itb_pool = false);
 
   /// Close the current window at simulated time `now` and append a sample.
   void sample(TimePs now, const Simulator& sim, const Network& net,
@@ -93,6 +100,7 @@ class TimeSeriesSampler {
   std::uint64_t last_latency_count_ = 0;
   std::uint64_t last_events_ = 0;
   bool link_util_ = false;
+  bool itb_pool_ = false;
 };
 
 /// Append `samples` to a CSV file (header written when the file is empty),
@@ -101,5 +109,13 @@ class TimeSeriesSampler {
 void append_samples_csv(const std::string& path, const std::string& experiment,
                         const std::string& scheme,
                         const std::vector<TimeSeriesSample>& samples);
+
+/// Write the congestion heatmap: one long-format CSV row per (metric, id,
+/// window) — `link_util` keyed by ChannelId and `itb_pool` keyed by HostId —
+/// sized for the dragonfly16-class beds (rows scale as windows x (channels
+/// + hosts), not switches^2).  Windows lacking a metric (sampling off) emit
+/// no rows.  Overwrites `path`.
+void write_heatmap_csv(const std::string& path,
+                       const std::vector<TimeSeriesSample>& samples);
 
 }  // namespace itb

@@ -1,0 +1,69 @@
+#include "obs/trace.hpp"
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace itb {
+
+std::vector<PacketTraceRecord> merge_lane_traces(const PacketTracer* lanes,
+                                                 std::size_t count) {
+  // Cursor-per-lane K-way merge.  Each lane's snapshot is non-decreasing in
+  // (t, key) — a lane executes its events in exactly that order and every
+  // record is stamped with its executing event's key — and keys are
+  // globally unique across lanes (they encode the minting lane), so the
+  // strict (t, key) minimum below is unambiguous: two lanes can never tie.
+  // Records of one event share its (t, key) and drain consecutively from
+  // their lane in program order, which is also the serial program order.
+  struct Cursor {
+    std::vector<PacketTraceRecord> recs;
+    std::vector<std::uint64_t> keys;
+    std::size_t i = 0;
+  };
+  std::vector<Cursor> cur;
+  cur.reserve(count);
+  std::size_t total = 0;
+  for (std::size_t li = 0; li < count; ++li) {
+    Cursor c;
+    c.recs = lanes[li].snapshot();
+    c.keys = lanes[li].snapshot_keys();
+    total += c.recs.size();
+    cur.push_back(std::move(c));
+  }
+  std::vector<PacketTraceRecord> out;
+  out.reserve(total);
+  for (;;) {
+    std::size_t best = cur.size();
+    TimePs bt = 0;
+    std::uint64_t bk = 0;
+    for (std::size_t li = 0; li < cur.size(); ++li) {
+      const Cursor& c = cur[li];
+      if (c.i >= c.recs.size()) continue;
+      const TimePs t = c.recs[c.i].t;
+      const std::uint64_t k = c.keys.empty() ? 0 : c.keys[c.i];
+      if (best == cur.size() || t < bt || (t == bt && k < bk)) {
+        best = li;
+        bt = t;
+        bk = k;
+      }
+    }
+    if (best == cur.size()) break;
+    out.push_back(cur[best].recs[cur[best].i++]);
+  }
+
+  // Sharded packet ids are lane << 48 | per-lane counter; serial ids are
+  // one dense counter starting at 1, assigned in injection order.  The
+  // merged stream visits kInject records in exactly that order, so a dense
+  // renumber by first appearance reproduces the serial ids (records keep
+  // their lane byte — that is the per-lane Perfetto track signal).
+  std::unordered_map<std::uint64_t, std::uint64_t> remap;
+  remap.reserve(out.size() / 4 + 1);
+  std::uint64_t next = 1;
+  for (PacketTraceRecord& r : out) {
+    const auto [it, fresh] = remap.try_emplace(r.packet, next);
+    if (fresh) ++next;
+    r.packet = it->second;
+  }
+  return out;
+}
+
+}  // namespace itb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace itb {
 
@@ -50,11 +51,18 @@ void ParallelEngine::configure(PartitionPlan plan) {
     lane.sim.enable_shard_keys(i);
     lane.drain_buf.clear();
     lane.posted = 0;
+    lane.posted_credits = 0;
+    lane.barrier_wall_ns = 0;
+    lane.win_ring.clear();
+    lane.win_ring.shrink_to_fit();
+    lane.win_recorded = 0;
   }
   for (auto& mb : mailboxes_) {
     std::lock_guard<std::mutex> lk(mb->mu);
     mb->pending.clear();
+    mb->depth_peak = 0;
   }
+  win_stats_cap_ = 0;
   synced_ = 0;
   windows_executed_ = 0;
   events_prev_ = 0;
@@ -76,11 +84,20 @@ void ParallelEngine::post(int to_lane, const BoundaryMsg& m) {
   {
     std::lock_guard<std::mutex> lk(mb.mu);
     mb.pending.push_back(m);
+    if (mb.pending.size() > mb.depth_peak) mb.depth_peak = mb.pending.size();
   }
-  ++lanes_[static_cast<std::size_t>(shard::tl_lane)]->posted;
+  Lane& from = *lanes_[static_cast<std::size_t>(shard::tl_lane)];
+  ++from.posted;
+  if (m.kind == EventKind::kStopArrived || m.kind == EventKind::kGoArrived) {
+    ++from.posted_credits;
+  }
 }
 
-void ParallelEngine::barrier_wait() {
+std::uint64_t ParallelEngine::barrier_wait(Lane& lane) {
+  // Returns (and accumulates) the wall time this lane idled: the releasing
+  // lane — the slowest arrival — measures ~0, so the sum over lanes is the
+  // pure synchronization overhead the health fields surface.
+  const auto t0 = std::chrono::steady_clock::now();
   const int n = static_cast<int>(lanes_.size());
   const int s = barrier_sense_.load(std::memory_order_relaxed);
   if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) == n - 1) {
@@ -92,6 +109,12 @@ void ParallelEngine::barrier_wait() {
       if (++spins > 4096) std::this_thread::yield();
     }
   }
+  const auto waited = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  lane.barrier_wall_ns += waited;
+  return waited;
 }
 
 void ParallelEngine::drain_into(Lane& lane, int my_lane, TimePs until) {
@@ -132,14 +155,43 @@ void ParallelEngine::run_windows(Lane& lane, int my_lane, TimePs from,
   const TimePs l = plan_.lookahead;
   TimePs w = from;
   std::uint64_t windows = 0;
-  auto step = [&](TimePs stop) {
+  auto step = [&](TimePs start, TimePs stop, std::uint64_t bar_ns) {
     // After a lane failed, the others keep attending barriers (the window
     // count is the same for every lane) but stop simulating, so the epoch
     // winds down without deadlock and the coordinator can rethrow.
     if (failed_.load(std::memory_order_acquire)) return;
     try {
+      if (win_stats_cap_ == 0) {
+        drain_into(lane, my_lane, stop);
+        lane.sim.run_until(stop);
+        return;
+      }
+      // Window-stat recording is a pure observer: the clock reads and ring
+      // write sit outside the simulated path entirely.
+      const std::uint64_t posted0 = lane.posted;
+      const std::uint64_t ev0 = lane.sim.events_executed();
+      const auto t0 = std::chrono::steady_clock::now();
       drain_into(lane, my_lane, stop);
+      const auto drained = static_cast<std::uint32_t>(lane.drain_buf.size());
       lane.sim.run_until(stop);
+      LaneWindowStat st;
+      st.t_start = start;
+      st.t_end = stop;
+      st.events = lane.sim.events_executed() - ev0;
+      st.run_wall_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      st.barrier_wall_ns = bar_ns;
+      st.drained = drained;
+      st.posted = static_cast<std::uint32_t>(lane.posted - posted0);
+      if (lane.win_ring.size() < win_stats_cap_) {
+        lane.win_ring.push_back(st);
+      } else {
+        lane.win_ring[static_cast<std::size_t>(lane.win_recorded %
+                                               win_stats_cap_)] = st;
+      }
+      ++lane.win_recorded;
     } catch (...) {
       {
         std::lock_guard<std::mutex> lk(error_mu_);
@@ -149,15 +201,15 @@ void ParallelEngine::run_windows(Lane& lane, int my_lane, TimePs from,
     }
   };
   while (w < deadline) {
-    barrier_wait();
-    step(std::min(w + l, deadline) - 1);
+    const std::uint64_t bar_ns = barrier_wait(lane);
+    step(w, std::min(w + l, deadline) - 1, bar_ns);
     w += l;
     ++windows;
   }
   // Closing pass: messages posted during the final window may target a time
   // up to and including `deadline` itself; run them now.
-  barrier_wait();
-  step(deadline);
+  const std::uint64_t bar_ns = barrier_wait(lane);
+  step(deadline, deadline, bar_ns);
   if (my_lane == 0) windows_executed_ += windows + 1;
 }
 
@@ -249,6 +301,62 @@ std::uint64_t ParallelEngine::order_ties() const {
   std::uint64_t n = 0;
   for (const auto& lane : lanes_) n += lane->sim.order_ties();
   return n;
+}
+
+std::uint64_t ParallelEngine::barrier_wait_ns_total() const {
+  std::uint64_t n = 0;
+  for (const auto& lane : lanes_) n += lane->barrier_wall_ns;
+  return n;
+}
+
+std::uint64_t ParallelEngine::cross_lane_credits() const {
+  std::uint64_t n = 0;
+  for (const auto& lane : lanes_) n += lane->posted_credits;
+  return n;
+}
+
+std::size_t ParallelEngine::mailbox_depth_peak() const {
+  std::size_t n = 0;
+  for (const auto& mb : mailboxes_) n = std::max(n, mb->depth_peak);
+  return n;
+}
+
+double ParallelEngine::lane_imbalance() const {
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (const auto& lane : lanes_) {
+    const std::uint64_t e = lane->sim.events_executed();
+    total += e;
+    max = std::max(max, e);
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(lanes_.size());
+  return static_cast<double>(max) / mean;
+}
+
+void ParallelEngine::enable_window_stats(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  win_stats_cap_ = capacity;
+  for (auto& lane : lanes_) {
+    lane->win_ring.clear();
+    lane->win_ring.reserve(capacity);
+    lane->win_recorded = 0;
+  }
+}
+
+std::vector<LaneWindowStat> ParallelEngine::window_stats(int i) const {
+  const Lane& lane = *lanes_[static_cast<std::size_t>(i)];
+  std::vector<LaneWindowStat> out;
+  const std::size_t n = lane.win_ring.size();
+  out.reserve(n);
+  // When wrapped, the oldest surviving window sits at the write head.
+  const std::size_t head =
+      n == 0 ? 0 : static_cast<std::size_t>(lane.win_recorded % n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.push_back(lane.win_ring[lane.win_recorded > n ? (head + j) % n : j]);
+  }
+  return out;
 }
 
 void ParallelEngine::for_each_pending(

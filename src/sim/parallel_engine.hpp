@@ -82,6 +82,22 @@ extern thread_local std::int32_t tl_lane;
 extern thread_local Simulator* tl_sim;
 }  // namespace shard
 
+/// One lookahead window as one lane experienced it (engine health layer;
+/// recorded only while enable_window_stats() is on).  Simulated bounds plus
+/// host-side wall clocks: `barrier_wall_ns` is the wait that preceded this
+/// window (how long this lane idled for the slowest lane), `run_wall_ns`
+/// the drain + run_until work itself — the per-window load-imbalance and
+/// lookahead-slack signals the Perfetto health tracks render.
+struct LaneWindowStat {
+  TimePs t_start = 0;
+  TimePs t_end = 0;                  // inclusive (run_until's contract)
+  std::uint64_t events = 0;          // events this lane executed in-window
+  std::uint64_t run_wall_ns = 0;
+  std::uint64_t barrier_wall_ns = 0;
+  std::uint32_t drained = 0;         // mailbox messages applied at entry
+  std::uint32_t posted = 0;          // cross-lane messages sent in-window
+};
+
 class ParallelEngine {
  public:
   ParallelEngine() = default;
@@ -133,6 +149,33 @@ class ParallelEngine {
   /// Same-picosecond cross-lane ordering ties (see header comment).
   [[nodiscard]] std::uint64_t order_ties() const;
 
+  // --- engine health layer ----------------------------------------------
+  // Cheap scalar counters below are always collected (O(1) per barrier /
+  // post); the per-window ring is opt-in via enable_window_stats().
+
+  /// Wall time lanes spent waiting at window barriers, summed over lanes —
+  /// the sharding overhead that is NOT simulation work.
+  [[nodiscard]] std::uint64_t barrier_wait_ns_total() const;
+  /// Cross-lane stop/go credit messages (subset of boundary_events()).
+  [[nodiscard]] std::uint64_t cross_lane_credits() const;
+  /// Deepest any (from, to) mailbox ever got — backlog high-water mark.
+  [[nodiscard]] std::size_t mailbox_depth_peak() const;
+  /// Events executed by one lane (load-balance signal).
+  [[nodiscard]] std::uint64_t lane_events(int i) const {
+    return lanes_[static_cast<std::size_t>(i)]->sim.events_executed();
+  }
+  /// max / mean of per-lane event counts (1.0 = perfectly balanced; 0 when
+  /// nothing ran).
+  [[nodiscard]] double lane_imbalance() const;
+
+  /// Start recording per-window LaneWindowStat rings (bounded: each lane
+  /// keeps its most recent `capacity` windows, like the trace ring).  Call
+  /// after configure(), before run_until(); configure() disables again.
+  void enable_window_stats(std::size_t capacity);
+  /// Lane `i`'s recorded windows in chronological order (coordinator
+  /// thread, lanes quiescent).
+  [[nodiscard]] std::vector<LaneWindowStat> window_stats(int i) const;
+
   /// Walk every undrained mailbox message (coordinator thread, lanes
   /// quiescent).  The Network's liveness census uses this: a packet's only
   /// live reference may be a piggybacked announcement still in flight.
@@ -142,6 +185,7 @@ class ParallelEngine {
   struct Mailbox {
     std::mutex mu;
     std::vector<BoundaryMsg> pending;
+    std::size_t depth_peak = 0;  // guarded by mu; read quiescent
   };
 
   struct alignas(64) Lane {
@@ -149,13 +193,20 @@ class ParallelEngine {
     std::thread thread;
     std::vector<BoundaryMsg> drain_buf;  // reused across drains
     std::uint64_t posted = 0;            // messages this lane sent
+    std::uint64_t posted_credits = 0;    // ... of which stop/go credits
+    std::uint64_t barrier_wall_ns = 0;   // wall time idling at barriers
     std::uint64_t epoch_seen = 0;
+    // Per-window stat ring (enable_window_stats): written by the owning
+    // worker between barriers, read by the coordinator when quiescent (the
+    // epoch handoff's mutex orders both).
+    std::vector<LaneWindowStat> win_ring;
+    std::uint64_t win_recorded = 0;
   };
 
   void worker_main(int my_lane);
   void run_windows(Lane& lane, int my_lane, TimePs from, TimePs deadline);
   void drain_into(Lane& lane, int my_lane, TimePs until);
-  void barrier_wait();
+  std::uint64_t barrier_wait(Lane& lane);
   void shutdown_workers();
 
   PartitionPlan plan_;
@@ -179,6 +230,7 @@ class ParallelEngine {
 
   std::uint64_t windows_executed_ = 0;
   std::uint64_t events_prev_ = 0;  // events_executed() at last run_until exit
+  std::size_t win_stats_cap_ = 0;  // 0 = per-window rings disabled
 
   std::mutex error_mu_;
   std::exception_ptr first_error_;       // guarded by error_mu_

@@ -147,6 +147,13 @@ class Simulator {
   /// pushing lanes — the only schedule freedom the shard keys leave open.
   [[nodiscard]] std::uint64_t order_ties() const { return order_ties_; }
 
+  /// Shard key of the event currently being dispatched (valid inside a
+  /// handler while in shard mode; run_until_pod records it before the
+  /// dispatch).  This is what makes per-lane telemetry mergeable: every
+  /// trace record stamped with (now, current_key) sorts into the exact
+  /// serial total order, because keys are globally unique across lanes.
+  [[nodiscard]] std::uint64_t current_key() const { return tie_key_; }
+
   /// Schedule `fn` `delay` picoseconds from now (delay >= 0).
   void schedule_in(TimePs delay, EventFn fn) {
     assert(delay >= 0);

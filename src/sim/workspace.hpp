@@ -80,6 +80,29 @@ class SimWorkspace {
   [[nodiscard]] PacketTracer& tracer() { return tracer_; }
   [[nodiscard]] PhaseProfiler& profiler() { return profiler_; }
 
+  /// Per-lane telemetry for sharded runs: one tracer ring / profiler per
+  /// lane, written lock-free by the owning worker.  lane_tracers(k) returns
+  /// the base of a k-element array (Network::set_tracer's sharded form);
+  /// storage above k survives so alternating shard counts do not thrash.
+  /// Same reuse contract as the serial buffers: the harness configures each
+  /// element per point, and capacity persists across points.
+  [[nodiscard]] PacketTracer* lane_tracers(int k) {
+    if (static_cast<int>(lane_tracers_.size()) < k) lane_tracers_.resize(
+        static_cast<std::size_t>(k));
+    return lane_tracers_.data();
+  }
+  [[nodiscard]] std::vector<PacketTracer>& lane_tracer_vec() {
+    return lane_tracers_;
+  }
+  [[nodiscard]] PhaseProfiler* lane_profilers(int k) {
+    if (static_cast<int>(lane_profilers_.size()) < k) lane_profilers_.resize(
+        static_cast<std::size_t>(k));
+    return lane_profilers_.data();
+  }
+  [[nodiscard]] std::vector<PhaseProfiler>& lane_profiler_vec() {
+    return lane_profilers_;
+  }
+
   /// How many prepare() calls reused existing storage instead of
   /// constructing it (0 through a fresh workspace's first point).
   [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
@@ -92,6 +115,8 @@ class SimWorkspace {
   std::optional<TrafficGenerator> gen_;
   PacketTracer tracer_;
   PhaseProfiler profiler_;
+  std::vector<PacketTracer> lane_tracers_;      // sharded traced runs
+  std::vector<PhaseProfiler> lane_profilers_;   // sharded profiled runs
   std::uint64_t reuses_ = 0;
   bool parallel_ = false;
 };

@@ -1,0 +1,359 @@
+// Shard-aware telemetry suite: tracing and profiling now run SHARDED — each
+// parallel-engine lane writes its own bounded ring / profiler, and the
+// harness merges them at harvest.  The headline contract mirrors the
+// engine's own: a traced K-sharded run emits the SAME logical lifecycle
+// stream as a traced serial run — record-identical after the (time, key)
+// merge and the dense packet-id renumber — on the paper's testbeds, with
+// deep checks on.  The suite also pins the per-lane ring accounting, the
+// lane-profiler aggregation, telemetry purity under sharding (traced vs
+// untraced sharded runs are bit-identical in every simulated metric), and
+// the Perfetto per-lane / engine-health track emission.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "net/params.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/trace.hpp"
+#include "sim/workspace.hpp"
+#include "topo/generators.hpp"
+#include "traffic/patterns.hpp"
+
+namespace itb {
+namespace {
+
+RunConfig traced_config(EngineKind engine, int shards) {
+  RunConfig cfg;
+  cfg.load_flits_per_ns_per_switch = 0.02;
+  cfg.warmup = us(30);
+  cfg.measure = us(80);
+  cfg.engine = engine;
+  cfg.shards = shards;
+  cfg.checked = true;
+  cfg.trace = true;
+  return cfg;
+}
+
+/// Records equal on every logical field.  `lane` is deliberately excluded:
+/// it reports WHERE the record was written (execution telemetry), while the
+/// differential below asserts WHAT was recorded.
+bool same_record(const PacketTraceRecord& a, const PacketTraceRecord& b) {
+  return a.t == b.t && a.packet == b.packet && a.ch == b.ch && a.sw == b.sw &&
+         a.host == b.host && a.kind == b.kind;
+}
+
+void expect_identical_streams(const std::vector<PacketTraceRecord>& serial,
+                              const std::vector<PacketTraceRecord>& sharded) {
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(same_record(serial[i], sharded[i]))
+        << "record " << i << " diverges: serial t=" << serial[i].t
+        << " pkt=" << serial[i].packet << " kind="
+        << to_string(serial[i].kind) << " vs sharded t=" << sharded[i].t
+        << " pkt=" << sharded[i].packet << " kind="
+        << to_string(sharded[i].kind);
+  }
+}
+
+/// Sort key over a record's full logical content — used to compare
+/// same-picosecond groups as sets when cross-lane ties permuted them.
+bool content_less(const PacketTraceRecord& a, const PacketTraceRecord& b) {
+  if (a.packet != b.packet) return a.packet < b.packet;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.ch != b.ch) return a.ch < b.ch;
+  if (a.sw != b.sw) return a.sw < b.sw;
+  return a.host < b.host;
+}
+
+/// Streams equal up to permutation WITHIN each picosecond: the relative
+/// order of same-instant cross-lane events is the one thing the shard key
+/// leaves open (counted in boundary_ties; see sim/parallel_engine.hpp).
+/// Every cross-picosecond ordering, every record's content and every
+/// renumbered packet id must still match exactly.
+void expect_equivalent_streams(std::vector<PacketTraceRecord> serial,
+                               std::vector<PacketTraceRecord> sharded) {
+  ASSERT_EQ(serial.size(), sharded.size());
+  std::size_t i = 0;
+  while (i < serial.size()) {
+    std::size_t j = i;
+    while (j < serial.size() && serial[j].t == serial[i].t) ++j;
+    ASSERT_EQ(sharded[i].t, serial[i].t) << "group start " << i;
+    ASSERT_TRUE(j == sharded.size() || sharded[j].t != sharded[i].t)
+        << "group width diverges at record " << i;
+    std::sort(serial.begin() + static_cast<std::ptrdiff_t>(i),
+              serial.begin() + static_cast<std::ptrdiff_t>(j), content_less);
+    std::sort(sharded.begin() + static_cast<std::ptrdiff_t>(i),
+              sharded.begin() + static_cast<std::ptrdiff_t>(j), content_less);
+    for (std::size_t k = i; k < j; ++k) {
+      ASSERT_TRUE(same_record(serial[k], sharded[k]))
+          << "record " << k << " (t=" << serial[k].t << ") diverges";
+    }
+    i = j;
+  }
+}
+
+/// The tentpole differential: serial traced vs K-sharded traced, same
+/// point, merged stream record-identical (and the bookkeeping sums match).
+/// Runs with same-picosecond cross-lane push ties — CPLANT under
+/// round-robin — are compared up to within-picosecond permutation instead,
+/// which is exactly the slack boundary_ties reports.
+void expect_trace_matches_serial(const Testbed& tb, RoutingScheme scheme,
+                                 bool expect_exact) {
+  UniformPattern pat(tb.topo().num_hosts());
+  SimWorkspace ws;
+  const RunResult serial =
+      run_point_in(ws, tb, scheme, pat, traced_config(EngineKind::kPod, 1));
+  ASSERT_GT(serial.trace_records, 0u);
+  ASSERT_EQ(serial.trace_dropped, 0u) << "grow trace_capacity for this test";
+  for (const int shards : {2, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    SimWorkspace pws;
+    const RunResult sharded = run_point_in(
+        pws, tb, scheme, pat, traced_config(EngineKind::kPodParallel, shards));
+    EXPECT_EQ(sharded.shards, static_cast<std::uint64_t>(shards));
+    EXPECT_EQ(sharded.trace_records, serial.trace_records);
+    EXPECT_EQ(sharded.trace_dropped, 0u);
+    EXPECT_EQ(sharded.invariant_violations, 0u);
+    if (expect_exact || sharded.boundary_ties == 0) {
+      expect_identical_streams(serial.trace, sharded.trace);
+    } else {
+      expect_equivalent_streams(serial.trace, sharded.trace);
+    }
+  }
+}
+
+TEST(ShardedTrace, TorusMatchesSerial) {
+  Testbed tb(make_torus_2d(4, 4, 4));
+  expect_trace_matches_serial(tb, RoutingScheme::kItbSp,
+                              /*expect_exact=*/true);
+  expect_trace_matches_serial(tb, RoutingScheme::kItbRr,
+                              /*expect_exact=*/true);
+}
+
+TEST(ShardedTrace, ExpressTorusMatchesSerial) {
+  Testbed tb(make_torus_2d_express(5, 5, 4));
+  expect_trace_matches_serial(tb, RoutingScheme::kItbSp,
+                              /*expect_exact=*/true);
+}
+
+TEST(ShardedTrace, CplantMatchesSerial) {
+  Testbed tb(make_cplant());
+  // Single-path: no same-instant cross-lane pushes, exact identity.
+  expect_trace_matches_serial(tb, RoutingScheme::kItbSp,
+                              /*expect_exact=*/true);
+  // Round-robin lands same-picosecond cross-lane pushes (boundary_ties);
+  // identity then holds up to within-picosecond permutation.
+  expect_trace_matches_serial(tb, RoutingScheme::kItbRr,
+                              /*expect_exact=*/false);
+}
+
+// A sharded run's lane byte is populated: at K=8 on the torus more than one
+// lane must have written records, and every lane id is in range.
+TEST(ShardedTrace, RecordsCarryTheirLane) {
+  Testbed tb(make_torus_2d(4, 4, 4));
+  UniformPattern pat(tb.topo().num_hosts());
+  SimWorkspace ws;
+  const RunResult r = run_point_in(ws, tb, RoutingScheme::kItbSp, pat,
+                                   traced_config(EngineKind::kPodParallel, 8));
+  ASSERT_EQ(r.shards, 8u);
+  std::vector<bool> seen(8, false);
+  for (const PacketTraceRecord& rec : r.trace) {
+    ASSERT_LT(rec.lane, 8);
+    seen[rec.lane] = true;
+  }
+  int lanes_writing = 0;
+  for (const bool s : seen) lanes_writing += s ? 1 : 0;
+  EXPECT_GT(lanes_writing, 1);
+}
+
+// Per-lane ring accounting: with a tiny per-lane capacity the rings wrap,
+// recorded() still counts every observation (the sum matches the serial
+// record count), dropped() sums into trace_dropped, and the worst lane is
+// surfaced separately.  The merged stream is the K most recent per-lane
+// windows, still sorted by (t, key).
+TEST(ShardedTrace, RingWrapAccounting) {
+  Testbed tb(make_torus_2d(4, 4, 4));
+  UniformPattern pat(tb.topo().num_hosts());
+
+  SimWorkspace sws;
+  const RunResult serial = run_point_in(sws, tb, RoutingScheme::kItbSp, pat,
+                                        traced_config(EngineKind::kPod, 1));
+
+  RunConfig cfg = traced_config(EngineKind::kPodParallel, 4);
+  cfg.trace_capacity = 64;  // tiny: every lane wraps
+  SimWorkspace ws;
+  const RunResult r = run_point_in(ws, tb, RoutingScheme::kItbSp, pat, cfg);
+  ASSERT_EQ(r.shards, 4u);
+  EXPECT_EQ(r.trace_records, serial.trace_records);
+  EXPECT_GT(r.trace_dropped, 0u);
+  EXPECT_EQ(r.trace_dropped + r.trace.size(), r.trace_records);
+  EXPECT_GT(r.trace_dropped_max_lane, 0u);
+  EXPECT_LE(r.trace_dropped_max_lane, r.trace_dropped);
+  EXPECT_LE(r.trace.size(), std::size_t{4} * 64);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i - 1].t, r.trace[i].t);
+  }
+}
+
+// Lane-profiler aggregation: the harvested profile is the element-wise sum
+// of the coordinator's phases and every lane's.  Per-event phases
+// (kEventDispatch) accrue on lanes, and the sharded call count reproduces
+// the serial one exactly (same events, each dispatched on exactly one
+// lane); harness phases (kWarmup / kMeasure) accrue once on the
+// coordinator.
+TEST(ShardedProfile, AggregationSumsLanes) {
+  Testbed tb(make_torus_2d(4, 4, 4));
+  UniformPattern pat(tb.topo().num_hosts());
+  RunConfig cfg = traced_config(EngineKind::kPodParallel, 4);
+  cfg.trace = false;
+  cfg.profile = true;
+
+  RunConfig serial_cfg = cfg;
+  serial_cfg.engine = EngineKind::kPod;
+  serial_cfg.shards = 1;
+
+  SimWorkspace sws;
+  const RunResult serial =
+      run_point_in(sws, tb, RoutingScheme::kItbSp, pat, serial_cfg);
+  SimWorkspace ws;
+  const RunResult r = run_point_in(ws, tb, RoutingScheme::kItbSp, pat, cfg);
+  ASSERT_EQ(r.shards, 4u);
+  ASSERT_EQ(r.profile.size(), PhaseProfiler::kPhases);
+  ASSERT_EQ(serial.profile.size(), PhaseProfiler::kPhases);
+
+  const auto at = [&](const RunResult& rr, Phase p) {
+    return rr.profile[static_cast<std::size_t>(p)];
+  };
+  EXPECT_EQ(at(r, Phase::kEventDispatch).calls,
+            at(serial, Phase::kEventDispatch).calls);
+  EXPECT_EQ(at(r, Phase::kRouteLookup).calls,
+            at(serial, Phase::kRouteLookup).calls);
+  EXPECT_GT(at(r, Phase::kEventDispatch).wall_ns, 0);
+  EXPECT_EQ(at(r, Phase::kWarmup).calls, 1u);
+  EXPECT_EQ(at(r, Phase::kMeasure).calls, 1u);
+}
+
+// Telemetry purity under sharding: a traced + profiled K-sharded run is
+// bit-identical in every simulated metric to a bare K-sharded run — the
+// per-lane rings observe, never perturb (the sharded sibling of
+// test_obs.TracingDoesNotPerturbTheSimulation).
+TEST(ShardedTelemetry, DoesNotPerturbTheSimulation) {
+  Testbed tb(make_torus_2d(4, 4, 4));
+  UniformPattern pat(tb.topo().num_hosts());
+  RunConfig plain = traced_config(EngineKind::kPodParallel, 4);
+  plain.trace = false;
+  RunConfig full = traced_config(EngineKind::kPodParallel, 4);
+  full.profile = true;
+
+  SimWorkspace ws1;
+  const RunResult a = run_point_in(ws1, tb, RoutingScheme::kItbRr, pat, plain);
+  SimWorkspace ws2;
+  const RunResult b = run_point_in(ws2, tb, RoutingScheme::kItbRr, pat, full);
+  EXPECT_EQ(a.shards, 4u);
+  EXPECT_EQ(b.shards, 4u);
+  EXPECT_GT(b.trace_records, 0u);
+  EXPECT_TRUE(same_simulated_metrics(a, b));
+}
+
+// Engine health scalars: a sharded point reports its barrier wall time,
+// load balance and mailbox traffic; a serial point reports all-zero.
+TEST(ShardedTelemetry, HealthScalarsPopulated) {
+  Testbed tb(make_torus_2d(4, 4, 4));
+  UniformPattern pat(tb.topo().num_hosts());
+  SimWorkspace ws;
+  const RunResult r = run_point_in(ws, tb, RoutingScheme::kItbSp, pat,
+                                   traced_config(EngineKind::kPodParallel, 4));
+  ASSERT_EQ(r.shards, 4u);
+  EXPECT_GT(r.barrier_wait_ms, 0.0);
+  EXPECT_GE(r.lane_imbalance, 1.0);
+  EXPECT_GT(r.mailbox_depth_peak, 0u);
+  EXPECT_LE(r.cross_lane_credits, r.boundary_events);
+
+  SimWorkspace sws;
+  const RunResult s = run_point_in(sws, tb, RoutingScheme::kItbSp, pat,
+                                   traced_config(EngineKind::kPod, 1));
+  EXPECT_EQ(s.barrier_wait_ms, 0.0);
+  EXPECT_EQ(s.lane_imbalance, 0.0);
+  EXPECT_EQ(s.mailbox_depth_peak, 0u);
+  EXPECT_EQ(s.trace_dropped_max_lane, 0u);
+}
+
+// Perfetto export of a sharded trace: lifecycle events land on per-lane
+// tids (with matching thread-name metas), and passing the engine adds the
+// per-lane health track group (pid 100+lane) with window and barrier
+// slices.  A serial trace emits neither.
+TEST(ShardedPerfetto, LaneAndHealthTracks) {
+  Testbed tb(make_torus_2d(4, 4, 4));
+  UniformPattern pat(tb.topo().num_hosts());
+  SimWorkspace ws;
+  const RunResult r = run_point_in(ws, tb, RoutingScheme::kItbSp, pat,
+                                   traced_config(EngineKind::kPodParallel, 4));
+  ASSERT_EQ(r.shards, 4u);
+  ASSERT_TRUE(ws.parallel());
+
+  const std::string json =
+      trace_to_chrome_json(r.trace, ws.net(), r.trace_dropped, &ws.engine());
+  EXPECT_NE(json.find(R"("pid":2,"tid":1)"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"lane 1")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"lane 0 health")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"lane 3 health")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"window")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"barrier")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"mailbox")"), std::string::npos);
+
+  // The raw CSV gains the lane column only for multi-lane traces.
+  const std::string csv = trace_to_csv(r.trace);
+  EXPECT_EQ(csv.rfind("t_ps,kind,packet,channel,switch,host,lane\n", 0), 0u);
+
+  SimWorkspace sws;
+  const RunResult s = run_point_in(sws, tb, RoutingScheme::kItbSp, pat,
+                                   traced_config(EngineKind::kPod, 1));
+  const std::string serial_json =
+      trace_to_chrome_json(s.trace, sws.net(), s.trace_dropped);
+  EXPECT_EQ(serial_json.find("health"), std::string::npos);
+  EXPECT_EQ(serial_json.find(R"("name":"lane)"), std::string::npos);
+  const std::string serial_csv = trace_to_csv(s.trace);
+  EXPECT_EQ(serial_csv.rfind("t_ps,kind,packet,channel,switch,host\n", 0), 0u);
+}
+
+// The heatmap sampler under sharding: per-host ITB-pool vectors are
+// captured at window-sync points and match the serial run's bit-for-bit
+// (they are simulated quantities read when the lanes are quiescent).
+TEST(ShardedHeatmap, MatchesSerialSamples) {
+  Testbed tb(make_torus_2d(4, 4, 4));
+  UniformPattern pat(tb.topo().num_hosts());
+  RunConfig cfg = traced_config(EngineKind::kPod, 1);
+  cfg.trace = false;
+  cfg.sample_period = us(10);
+  cfg.sample_link_util = true;
+  cfg.sample_itb_pool = true;
+
+  RunConfig pcfg = cfg;
+  pcfg.engine = EngineKind::kPodParallel;
+  pcfg.shards = 4;
+
+  SimWorkspace sws;
+  const RunResult serial =
+      run_point_in(sws, tb, RoutingScheme::kItbRr, pat, cfg);
+  SimWorkspace ws;
+  const RunResult sharded =
+      run_point_in(ws, tb, RoutingScheme::kItbRr, pat, pcfg);
+  ASSERT_EQ(sharded.shards, 4u);
+  ASSERT_EQ(serial.samples.size(), sharded.samples.size());
+  ASSERT_FALSE(serial.samples.empty());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    const TimeSeriesSample& a = serial.samples[i];
+    const TimeSeriesSample& b = sharded.samples[i];
+    ASSERT_EQ(a.itb_pool.size(),
+              static_cast<std::size_t>(tb.topo().num_hosts()));
+    EXPECT_EQ(a.itb_pool, b.itb_pool);
+    EXPECT_EQ(a.link_util, b.link_util);
+  }
+}
+
+}  // namespace
+}  // namespace itb

@@ -147,10 +147,12 @@ TEST(ParallelEngine, SamplingDoesNotPerturbShardedRuns) {
   EXPECT_TRUE(same_simulated_metrics(a, b));
 }
 
-// Serial-only machinery falls back to one lane rather than racing: a traced
-// kPodParallel run reports shards == 0 (serial execution) and still matches
-// the serial engine.
-TEST(ParallelEngine, TracingFallsBackToSerial) {
+// Tracing runs SHARDED: a traced kPodParallel run keeps all its lanes
+// (shards == K, not the old serial fallback), records into per-lane rings,
+// and the merged stream is record-identical to a serial traced run of the
+// same point (the deep differential lives in test_obs_parallel; this pins
+// the engine-selection contract).
+TEST(ParallelEngine, TracingRunsSharded) {
   Testbed tb(make_torus_2d(4, 4, 4));
   UniformPattern pat(tb.topo().num_hosts());
   RunConfig cfg = small_config(EngineKind::kPodParallel, 4);
@@ -158,14 +160,17 @@ TEST(ParallelEngine, TracingFallsBackToSerial) {
 
   SimWorkspace ws;
   const RunResult r = run_point_in(ws, tb, RoutingScheme::kItbSp, pat, cfg);
-  EXPECT_EQ(r.shards, 0u);
+  EXPECT_EQ(r.shards, 4u);
   EXPECT_GT(r.trace_records, 0u);
+  EXPECT_FALSE(r.trace.empty());
 
   RunConfig serial = small_config(EngineKind::kPod, 1);
+  serial.trace = true;
   SimWorkspace ws2;
   RunResult s = run_point_in(ws2, tb, RoutingScheme::kItbSp, pat, serial);
   EXPECT_EQ(r.delivered, s.delivered);
   EXPECT_EQ(r.avg_latency_ns, s.avg_latency_ns);
+  EXPECT_EQ(r.trace_records, s.trace_records);
 }
 
 // The adaptive selector's latency-feedback loop is inherently serial; the

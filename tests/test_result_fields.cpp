@@ -62,6 +62,11 @@ RunResult distinctive_result() {
   r.windows_executed = 117;
   r.boundary_events = 118;
   r.boundary_ties = 119;
+  r.barrier_wait_ms = 14.25;
+  r.lane_imbalance = 15.25;
+  r.mailbox_depth_peak = 122;
+  r.cross_lane_credits = 123;
+  r.trace_dropped_max_lane = 124;
   return r;
 }
 
@@ -178,6 +183,11 @@ TEST(ResultFields, DeterminismComparisonUsesTheRegistryClasses) {
   b.windows_executed += 9;
   b.boundary_events += 13;
   b.boundary_ties += 17;
+  b.barrier_wait_ms += 0.125;
+  b.lane_imbalance += 0.5;
+  b.mailbox_depth_peak += 29;
+  b.cross_lane_credits += 31;
+  b.trace_dropped_max_lane += 37;
   EXPECT_TRUE(same_simulated_metrics(a, b));
 
   // …while any simulated scalar difference must.
@@ -196,7 +206,7 @@ TEST(ResultFields, RegistryCoversEveryRunResultScalar) {
   // Drift guard: adding a scalar to RunResult without registering it (or
   // registering without adding) trips this count.  Update BOTH together —
   // result_fields.cpp is the single source the emitters iterate.
-  EXPECT_EQ(result_fields().size(), 36u);
+  EXPECT_EQ(result_fields().size(), 41u);
 }
 
 }  // namespace

@@ -95,6 +95,10 @@ using namespace itb;
                "                   65536; oldest records drop on overflow)\n"
                "  --samples PATH   append windowed time-series samples as CSV\n"
                "  --sample-us N    sample window width (default measure/20)\n"
+               "  --heatmap PATH   write a congestion heatmap CSV: one row\n"
+               "                   per (metric, id, window) — link_util by\n"
+               "                   channel, itb_pool by host; implies\n"
+               "                   windowed sampling (works sharded)\n"
                "  --profile        time engine phases, report per-phase wall\n"
                "                   clock (included in --json output)\n",
                argv0);
@@ -215,6 +219,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string trace_raw_path;
   std::string samples_path;
+  std::string heatmap_path;
   long long sample_us = 0;
   bool profile = false;
   RunConfig cfg;
@@ -260,6 +265,7 @@ int main(int argc, char** argv) {
       else if (arg == "--trace-capacity")
         cfg.trace_capacity = static_cast<std::size_t>(std::stoull(need_value(i)));
       else if (arg == "--samples") samples_path = need_value(i);
+      else if (arg == "--heatmap") heatmap_path = need_value(i);
       else if (arg == "--sample-us") sample_us = std::stoll(need_value(i));
       else if (arg == "--profile") profile = true;
       else if (arg == "--help" || arg == "-h") usage(argv[0]);
@@ -360,13 +366,20 @@ int main(int argc, char** argv) {
       cfg.load_flits_per_ns_per_switch = load;
       cfg.trace = !trace_path.empty() || !trace_raw_path.empty();
       cfg.profile = profile;
-      if (!samples_path.empty() || sample_us > 0) {
+      if (!samples_path.empty() || !heatmap_path.empty() || sample_us > 0) {
         cfg.sample_period =
             sample_us > 0 ? us(sample_us) : cfg.measure / 20;
         if (cfg.sample_period <= 0) cfg.sample_period = cfg.measure;
         cfg.sample_link_util = true;
+        cfg.sample_itb_pool = !heatmap_path.empty();
       }
       const RunResult r = run_point(tb, *scheme, *pattern, cfg);
+      if (cfg.engine == EngineKind::kPodParallel && r.shards == 0) {
+        std::fprintf(stderr,
+                     "itbsim: note: pod_parallel downgraded to serial for "
+                     "this point (adaptive routing needs the serial "
+                     "feedback loop)\n");
+      }
       std::vector<SweepPoint> one{{load, r}};
       if (as_json) {
         std::printf("%s\n", run_result_to_json(r).c_str());
@@ -378,10 +391,14 @@ int main(int argc, char** argv) {
       // run_point left the calling thread's workspace prepared for this
       // point, so its network still carries the channel labels the
       // exporter needs.
-      const Network& net = this_thread_workspace().net();
+      SimWorkspace& ws = this_thread_workspace();
+      const Network& net = ws.net();
       if (!trace_path.empty()) {
         std::ofstream os(trace_path);
-        os << trace_to_chrome_json(r.trace, net, r.trace_dropped);
+        // Sharded points also export the engine-health track group (one
+        // pid per lane: window slices, barrier waits, mailbox counters).
+        os << trace_to_chrome_json(r.trace, net, r.trace_dropped,
+                                   ws.parallel() ? &ws.engine() : nullptr);
         if (!os) throw std::runtime_error("cannot write " + trace_path);
         std::fprintf(stderr,
                      "trace: %llu records (%llu dropped) -> %s\n",
@@ -398,6 +415,11 @@ int main(int argc, char** argv) {
         append_samples_csv(samples_path,
                            tb.topo().name() + "/" + pattern_spec, scheme_name,
                            r.samples);
+      }
+      if (!heatmap_path.empty()) {
+        write_heatmap_csv(heatmap_path, r.samples);
+        std::fprintf(stderr, "heatmap: %zu windows -> %s\n",
+                     r.samples.size(), heatmap_path.c_str());
       }
       if (profile && !as_json) {
         std::printf("# phase profile (wall clock, inclusive)\n");

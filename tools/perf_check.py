@@ -35,7 +35,10 @@ def rates(record):
             out[f"checked_overhead.{key}"] = overhead[key]
     telemetry = mk.get("telemetry", {})
     for key in ("disabled_events_per_sec", "traced_events_per_sec",
-                "sampled_events_per_sec", "profiled_events_per_sec"):
+                "sampled_events_per_sec", "profiled_events_per_sec",
+                "sharded_disabled_events_per_sec",
+                "sharded_traced_events_per_sec",
+                "sharded_profiled_events_per_sec"):
         if key in telemetry:
             out[f"telemetry.{key}"] = telemetry[key]
     shard = mk.get("shard_ab", {})
@@ -159,6 +162,40 @@ def main():
         if tele_off and rate:
             print(f"  telemetry {label}: {rate:.3g} events/s "
                   f"({(1.0 - rate / tele_off) * 100.0:+.1f}% vs disabled)")
+
+    # Sharded telemetry smoke: the per-lane tracer/profiler hooks sit in
+    # the same hot path under pod_parallel, so the sharded
+    # tracing-disabled rate carries the same ≤2% budget against the
+    # baseline's sharded rate.  A pre-sharded-telemetry baseline records
+    # that rate in shard_ab (same K, same point); newer baselines carry
+    # telemetry.sharded_disabled_events_per_sec directly.
+    fresh_tele = fresh_record.get("micro_kernel", {}).get("telemetry", {})
+    sh_k = fresh_tele.get("sharded_shards")
+    sh_off = fresh.get("telemetry.sharded_disabled_events_per_sec")
+    base_sh = baseline.get("telemetry.sharded_disabled_events_per_sec")
+    if base_sh is None and sh_k is not None:
+        base_sh = baseline.get(f"shard_ab.k{int(sh_k)}.events_per_sec")
+    if base_sh and sh_off:
+        overhead = 1.0 - sh_off / base_sh
+        print(f"  sharded tracing-disabled overhead vs baseline: "
+              f"{overhead * 100.0:+.1f}% "
+              f"(budget {TRACING_OVERHEAD_BUDGET * 100.0:.0f}%)")
+        if overhead > TRACING_OVERHEAD_BUDGET:
+            regressions += 1
+            print(f"::warning title=perf-smoke::sharded tracing-disabled "
+                  f"rate {overhead * 100.0:.1f}% below baseline (budget "
+                  f"{TRACING_OVERHEAD_BUDGET * 100.0:.0f}%)")
+    for label in ("traced", "profiled"):
+        rate = fresh.get(f"telemetry.sharded_{label}_events_per_sec")
+        if sh_off and rate:
+            print(f"  sharded telemetry {label} (K={sh_k}): "
+                  f"{rate:.3g} events/s "
+                  f"({(1.0 - rate / sh_off) * 100.0:+.1f}% vs disabled)")
+    if fresh_tele.get("sharded_barrier_wait_ms") is not None:
+        print(f"  sharded traced barrier wait: "
+              f"{fresh_tele['sharded_barrier_wait_ms']:.1f} ms, "
+              f"lane imbalance "
+              f"{fresh_tele.get('sharded_lane_imbalance', 0.0):.2f}")
 
     # Route-store smoke: the flat store's end-to-end rate against the
     # baseline pod rate (a nested-era baseline makes this the nested-vs-flat

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overheads.dir/bench_ablation_overheads.cpp.o"
+  "CMakeFiles/bench_ablation_overheads.dir/bench_ablation_overheads.cpp.o.d"
+  "bench_ablation_overheads"
+  "bench_ablation_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_policy.dir/bench_adaptive_policy.cpp.o"
+  "CMakeFiles/bench_adaptive_policy.dir/bench_adaptive_policy.cpp.o.d"
+  "bench_adaptive_policy"
+  "bench_adaptive_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bitreversal.dir/bench_fig10_bitreversal.cpp.o"
+  "CMakeFiles/bench_fig10_bitreversal.dir/bench_fig10_bitreversal.cpp.o.d"
+  "bench_fig10_bitreversal"
+  "bench_fig10_bitreversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bitreversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_linkutil_hotspot.dir/bench_fig11_linkutil_hotspot.cpp.o"
+  "CMakeFiles/bench_fig11_linkutil_hotspot.dir/bench_fig11_linkutil_hotspot.cpp.o.d"
+  "bench_fig11_linkutil_hotspot"
+  "bench_fig11_linkutil_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_linkutil_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_local.dir/bench_fig12_local.cpp.o"
+  "CMakeFiles/bench_fig12_local.dir/bench_fig12_local.cpp.o.d"
+  "bench_fig12_local"
+  "bench_fig12_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_uniform.dir/bench_fig7_uniform.cpp.o"
+  "CMakeFiles/bench_fig7_uniform.dir/bench_fig7_uniform.cpp.o.d"
+  "bench_fig7_uniform"
+  "bench_fig7_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

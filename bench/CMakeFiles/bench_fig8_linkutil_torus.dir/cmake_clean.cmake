@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_linkutil_torus.dir/bench_fig8_linkutil_torus.cpp.o"
+  "CMakeFiles/bench_fig8_linkutil_torus.dir/bench_fig8_linkutil_torus.cpp.o.d"
+  "bench_fig8_linkutil_torus"
+  "bench_fig8_linkutil_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_linkutil_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_linkutil_express.dir/bench_fig9_linkutil_express.cpp.o"
+  "CMakeFiles/bench_fig9_linkutil_express.dir/bench_fig9_linkutil_express.cpp.o.d"
+  "bench_fig9_linkutil_express"
+  "bench_fig9_linkutil_express.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_linkutil_express.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_irregular_sweep.dir/bench_irregular_sweep.cpp.o"
+  "CMakeFiles/bench_irregular_sweep.dir/bench_irregular_sweep.cpp.o.d"
+  "bench_irregular_sweep"
+  "bench_irregular_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_irregular_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

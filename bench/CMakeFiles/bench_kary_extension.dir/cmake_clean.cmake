@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kary_extension.dir/bench_kary_extension.cpp.o"
+  "CMakeFiles/bench_kary_extension.dir/bench_kary_extension.cpp.o.d"
+  "bench_kary_extension"
+  "bench_kary_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kary_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

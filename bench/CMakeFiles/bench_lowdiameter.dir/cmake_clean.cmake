@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lowdiameter.dir/bench_lowdiameter.cpp.o"
+  "CMakeFiles/bench_lowdiameter.dir/bench_lowdiameter.cpp.o.d"
+  "bench_lowdiameter"
+  "bench_lowdiameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lowdiameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msgsize_ablation.dir/bench_msgsize_ablation.cpp.o"
+  "CMakeFiles/bench_msgsize_ablation.dir/bench_msgsize_ablation.cpp.o.d"
+  "bench_msgsize_ablation"
+  "bench_msgsize_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msgsize_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

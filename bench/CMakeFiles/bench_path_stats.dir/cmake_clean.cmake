@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_stats.dir/bench_path_stats.cpp.o"
+  "CMakeFiles/bench_path_stats.dir/bench_path_stats.cpp.o.d"
+  "bench_path_stats"
+  "bench_path_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

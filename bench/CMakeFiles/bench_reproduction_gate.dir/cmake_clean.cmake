@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reproduction_gate.dir/bench_reproduction_gate.cpp.o"
+  "CMakeFiles/bench_reproduction_gate.dir/bench_reproduction_gate.cpp.o.d"
+  "bench_reproduction_gate"
+  "bench_reproduction_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reproduction_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

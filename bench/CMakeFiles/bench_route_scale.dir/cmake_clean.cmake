@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_route_scale.dir/bench_route_scale.cpp.o"
+  "CMakeFiles/bench_route_scale.dir/bench_route_scale.cpp.o.d"
+  "bench_route_scale"
+  "bench_route_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_route_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

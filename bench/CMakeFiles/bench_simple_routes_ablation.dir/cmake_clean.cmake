@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simple_routes_ablation.dir/bench_simple_routes_ablation.cpp.o"
+  "CMakeFiles/bench_simple_routes_ablation.dir/bench_simple_routes_ablation.cpp.o.d"
+  "bench_simple_routes_ablation"
+  "bench_simple_routes_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simple_routes_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hotspot_torus.dir/bench_table1_hotspot_torus.cpp.o"
+  "CMakeFiles/bench_table1_hotspot_torus.dir/bench_table1_hotspot_torus.cpp.o.d"
+  "bench_table1_hotspot_torus"
+  "bench_table1_hotspot_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hotspot_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

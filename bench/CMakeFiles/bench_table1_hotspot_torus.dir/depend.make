@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table1_hotspot_torus.
+# This may be replaced when dependencies are built.

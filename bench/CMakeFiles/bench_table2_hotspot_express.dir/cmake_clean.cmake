@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hotspot_express.dir/bench_table2_hotspot_express.cpp.o"
+  "CMakeFiles/bench_table2_hotspot_express.dir/bench_table2_hotspot_express.cpp.o.d"
+  "bench_table2_hotspot_express"
+  "bench_table2_hotspot_express.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hotspot_express.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_hotspot_cplant.dir/bench_table3_hotspot_cplant.cpp.o"
+  "CMakeFiles/bench_table3_hotspot_cplant.dir/bench_table3_hotspot_cplant.cpp.o.d"
+  "bench_table3_hotspot_cplant"
+  "bench_table3_hotspot_cplant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_hotspot_cplant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

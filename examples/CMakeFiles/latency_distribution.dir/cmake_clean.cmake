@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_distribution.dir/latency_distribution.cpp.o"
+  "CMakeFiles/latency_distribution.dir/latency_distribution.cpp.o.d"
+  "latency_distribution"
+  "latency_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

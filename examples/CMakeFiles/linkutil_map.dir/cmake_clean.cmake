@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkutil_map.dir/linkutil_map.cpp.o"
+  "CMakeFiles/linkutil_map.dir/linkutil_map.cpp.o.d"
+  "linkutil_map"
+  "linkutil_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkutil_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saturation_sweep.dir/saturation_sweep.cpp.o"
+  "CMakeFiles/saturation_sweep.dir/saturation_sweep.cpp.o.d"
+  "saturation_sweep"
+  "saturation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saturation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("topo")
+subdirs("route")
+subdirs("core")
+subdirs("mapper")
+subdirs("analysis")
+subdirs("net")
+subdirs("check")
+subdirs("traffic")
+subdirs("metrics")
+subdirs("obs")
+subdirs("harness")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/channel_load.cpp" "src/analysis/CMakeFiles/itb_analysis.dir/channel_load.cpp.o" "gcc" "src/analysis/CMakeFiles/itb_analysis.dir/channel_load.cpp.o.d"
+  "/root/repo/src/analysis/zero_load.cpp" "src/analysis/CMakeFiles/itb_analysis.dir/zero_load.cpp.o" "gcc" "src/analysis/CMakeFiles/itb_analysis.dir/zero_load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/traffic/CMakeFiles/itb_traffic.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/itb_net.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/itb_core.dir/DependInfo.cmake"
+  "/root/repo/src/topo/CMakeFiles/itb_topo.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/itb_sim.dir/DependInfo.cmake"
+  "/root/repo/src/route/CMakeFiles/itb_route.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

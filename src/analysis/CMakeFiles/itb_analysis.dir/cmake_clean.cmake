@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_analysis.dir/channel_load.cpp.o"
+  "CMakeFiles/itb_analysis.dir/channel_load.cpp.o.d"
+  "CMakeFiles/itb_analysis.dir/zero_load.cpp.o"
+  "CMakeFiles/itb_analysis.dir/zero_load.cpp.o.d"
+  "libitb_analysis.a"
+  "libitb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

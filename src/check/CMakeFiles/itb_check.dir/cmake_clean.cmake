@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_check.dir/route_verify.cpp.o"
+  "CMakeFiles/itb_check.dir/route_verify.cpp.o.d"
+  "CMakeFiles/itb_check.dir/watchdog.cpp.o"
+  "CMakeFiles/itb_check.dir/watchdog.cpp.o.d"
+  "libitb_check.a"
+  "libitb_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

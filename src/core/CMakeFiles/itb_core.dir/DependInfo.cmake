@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/itb_split.cpp" "src/core/CMakeFiles/itb_core.dir/itb_split.cpp.o" "gcc" "src/core/CMakeFiles/itb_core.dir/itb_split.cpp.o.d"
+  "/root/repo/src/core/path_policy.cpp" "src/core/CMakeFiles/itb_core.dir/path_policy.cpp.o" "gcc" "src/core/CMakeFiles/itb_core.dir/path_policy.cpp.o.d"
+  "/root/repo/src/core/route_builder.cpp" "src/core/CMakeFiles/itb_core.dir/route_builder.cpp.o" "gcc" "src/core/CMakeFiles/itb_core.dir/route_builder.cpp.o.d"
+  "/root/repo/src/core/route_io.cpp" "src/core/CMakeFiles/itb_core.dir/route_io.cpp.o" "gcc" "src/core/CMakeFiles/itb_core.dir/route_io.cpp.o.d"
+  "/root/repo/src/core/route_set.cpp" "src/core/CMakeFiles/itb_core.dir/route_set.cpp.o" "gcc" "src/core/CMakeFiles/itb_core.dir/route_set.cpp.o.d"
+  "/root/repo/src/core/route_stats.cpp" "src/core/CMakeFiles/itb_core.dir/route_stats.cpp.o" "gcc" "src/core/CMakeFiles/itb_core.dir/route_stats.cpp.o.d"
+  "/root/repo/src/core/route_store.cpp" "src/core/CMakeFiles/itb_core.dir/route_store.cpp.o" "gcc" "src/core/CMakeFiles/itb_core.dir/route_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/route/CMakeFiles/itb_route.dir/DependInfo.cmake"
+  "/root/repo/src/topo/CMakeFiles/itb_topo.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/itb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_core.dir/itb_split.cpp.o"
+  "CMakeFiles/itb_core.dir/itb_split.cpp.o.d"
+  "CMakeFiles/itb_core.dir/path_policy.cpp.o"
+  "CMakeFiles/itb_core.dir/path_policy.cpp.o.d"
+  "CMakeFiles/itb_core.dir/route_builder.cpp.o"
+  "CMakeFiles/itb_core.dir/route_builder.cpp.o.d"
+  "CMakeFiles/itb_core.dir/route_io.cpp.o"
+  "CMakeFiles/itb_core.dir/route_io.cpp.o.d"
+  "CMakeFiles/itb_core.dir/route_set.cpp.o"
+  "CMakeFiles/itb_core.dir/route_set.cpp.o.d"
+  "CMakeFiles/itb_core.dir/route_stats.cpp.o"
+  "CMakeFiles/itb_core.dir/route_stats.cpp.o.d"
+  "CMakeFiles/itb_core.dir/route_store.cpp.o"
+  "CMakeFiles/itb_core.dir/route_store.cpp.o.d"
+  "libitb_core.a"
+  "libitb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

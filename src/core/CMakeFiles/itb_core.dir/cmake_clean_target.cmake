@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libitb_core.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_harness.dir/json.cpp.o"
+  "CMakeFiles/itb_harness.dir/json.cpp.o.d"
+  "CMakeFiles/itb_harness.dir/replicate.cpp.o"
+  "CMakeFiles/itb_harness.dir/replicate.cpp.o.d"
+  "CMakeFiles/itb_harness.dir/report.cpp.o"
+  "CMakeFiles/itb_harness.dir/report.cpp.o.d"
+  "CMakeFiles/itb_harness.dir/result_fields.cpp.o"
+  "CMakeFiles/itb_harness.dir/result_fields.cpp.o.d"
+  "CMakeFiles/itb_harness.dir/runner.cpp.o"
+  "CMakeFiles/itb_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/itb_harness.dir/sweep.cpp.o"
+  "CMakeFiles/itb_harness.dir/sweep.cpp.o.d"
+  "CMakeFiles/itb_harness.dir/testbed.cpp.o"
+  "CMakeFiles/itb_harness.dir/testbed.cpp.o.d"
+  "libitb_harness.a"
+  "libitb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_mapper.dir/mapper.cpp.o"
+  "CMakeFiles/itb_mapper.dir/mapper.cpp.o.d"
+  "CMakeFiles/itb_mapper.dir/probe.cpp.o"
+  "CMakeFiles/itb_mapper.dir/probe.cpp.o.d"
+  "CMakeFiles/itb_mapper.dir/route_manager.cpp.o"
+  "CMakeFiles/itb_mapper.dir/route_manager.cpp.o.d"
+  "libitb_mapper.a"
+  "libitb_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/batch_means.cpp" "src/metrics/CMakeFiles/itb_metrics.dir/batch_means.cpp.o" "gcc" "src/metrics/CMakeFiles/itb_metrics.dir/batch_means.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/itb_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/itb_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/link_util.cpp" "src/metrics/CMakeFiles/itb_metrics.dir/link_util.cpp.o" "gcc" "src/metrics/CMakeFiles/itb_metrics.dir/link_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/net/CMakeFiles/itb_net.dir/DependInfo.cmake"
+  "/root/repo/src/route/CMakeFiles/itb_route.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/itb_sim.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/itb_core.dir/DependInfo.cmake"
+  "/root/repo/src/topo/CMakeFiles/itb_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

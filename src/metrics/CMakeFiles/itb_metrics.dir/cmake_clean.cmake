@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_metrics.dir/batch_means.cpp.o"
+  "CMakeFiles/itb_metrics.dir/batch_means.cpp.o.d"
+  "CMakeFiles/itb_metrics.dir/collector.cpp.o"
+  "CMakeFiles/itb_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/itb_metrics.dir/link_util.cpp.o"
+  "CMakeFiles/itb_metrics.dir/link_util.cpp.o.d"
+  "libitb_metrics.a"
+  "libitb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

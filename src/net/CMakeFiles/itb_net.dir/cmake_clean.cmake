@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_net.dir/network.cpp.o"
+  "CMakeFiles/itb_net.dir/network.cpp.o.d"
+  "CMakeFiles/itb_net.dir/stall_detector.cpp.o"
+  "CMakeFiles/itb_net.dir/stall_detector.cpp.o.d"
+  "libitb_net.a"
+  "libitb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

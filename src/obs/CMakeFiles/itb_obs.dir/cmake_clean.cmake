@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_obs.dir/perfetto.cpp.o"
+  "CMakeFiles/itb_obs.dir/perfetto.cpp.o.d"
+  "CMakeFiles/itb_obs.dir/samplers.cpp.o"
+  "CMakeFiles/itb_obs.dir/samplers.cpp.o.d"
+  "CMakeFiles/itb_obs.dir/trace.cpp.o"
+  "CMakeFiles/itb_obs.dir/trace.cpp.o.d"
+  "libitb_obs.a"
+  "libitb_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

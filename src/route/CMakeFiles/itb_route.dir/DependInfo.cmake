@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/minimal_paths.cpp" "src/route/CMakeFiles/itb_route.dir/minimal_paths.cpp.o" "gcc" "src/route/CMakeFiles/itb_route.dir/minimal_paths.cpp.o.d"
+  "/root/repo/src/route/simple_routes.cpp" "src/route/CMakeFiles/itb_route.dir/simple_routes.cpp.o" "gcc" "src/route/CMakeFiles/itb_route.dir/simple_routes.cpp.o.d"
+  "/root/repo/src/route/switch_path.cpp" "src/route/CMakeFiles/itb_route.dir/switch_path.cpp.o" "gcc" "src/route/CMakeFiles/itb_route.dir/switch_path.cpp.o.d"
+  "/root/repo/src/route/topo_minimal.cpp" "src/route/CMakeFiles/itb_route.dir/topo_minimal.cpp.o" "gcc" "src/route/CMakeFiles/itb_route.dir/topo_minimal.cpp.o.d"
+  "/root/repo/src/route/updown.cpp" "src/route/CMakeFiles/itb_route.dir/updown.cpp.o" "gcc" "src/route/CMakeFiles/itb_route.dir/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/topo/CMakeFiles/itb_topo.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/itb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

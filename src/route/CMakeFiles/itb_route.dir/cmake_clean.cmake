@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_route.dir/minimal_paths.cpp.o"
+  "CMakeFiles/itb_route.dir/minimal_paths.cpp.o.d"
+  "CMakeFiles/itb_route.dir/simple_routes.cpp.o"
+  "CMakeFiles/itb_route.dir/simple_routes.cpp.o.d"
+  "CMakeFiles/itb_route.dir/switch_path.cpp.o"
+  "CMakeFiles/itb_route.dir/switch_path.cpp.o.d"
+  "CMakeFiles/itb_route.dir/topo_minimal.cpp.o"
+  "CMakeFiles/itb_route.dir/topo_minimal.cpp.o.d"
+  "CMakeFiles/itb_route.dir/updown.cpp.o"
+  "CMakeFiles/itb_route.dir/updown.cpp.o.d"
+  "libitb_route.a"
+  "libitb_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_sim.dir/calendar_queue.cpp.o"
+  "CMakeFiles/itb_sim.dir/calendar_queue.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/itb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/parallel_engine.cpp.o"
+  "CMakeFiles/itb_sim.dir/parallel_engine.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/partition.cpp.o"
+  "CMakeFiles/itb_sim.dir/partition.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/pool.cpp.o"
+  "CMakeFiles/itb_sim.dir/pool.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/rng.cpp.o"
+  "CMakeFiles/itb_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/itb_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/stats.cpp.o"
+  "CMakeFiles/itb_sim.dir/stats.cpp.o.d"
+  "libitb_sim.a"
+  "libitb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

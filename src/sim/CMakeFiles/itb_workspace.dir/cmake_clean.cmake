@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_workspace.dir/workspace.cpp.o"
+  "CMakeFiles/itb_workspace.dir/workspace.cpp.o.d"
+  "libitb_workspace.a"
+  "libitb_workspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_workspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

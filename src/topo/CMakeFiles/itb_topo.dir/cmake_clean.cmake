@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_topo.dir/generators.cpp.o"
+  "CMakeFiles/itb_topo.dir/generators.cpp.o.d"
+  "CMakeFiles/itb_topo.dir/io.cpp.o"
+  "CMakeFiles/itb_topo.dir/io.cpp.o.d"
+  "CMakeFiles/itb_topo.dir/topology.cpp.o"
+  "CMakeFiles/itb_topo.dir/topology.cpp.o.d"
+  "libitb_topo.a"
+  "libitb_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

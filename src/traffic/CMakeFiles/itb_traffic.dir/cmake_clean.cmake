@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_traffic.dir/generator.cpp.o"
+  "CMakeFiles/itb_traffic.dir/generator.cpp.o.d"
+  "CMakeFiles/itb_traffic.dir/patterns.cpp.o"
+  "CMakeFiles/itb_traffic.dir/patterns.cpp.o.d"
+  "CMakeFiles/itb_traffic.dir/trace.cpp.o"
+  "CMakeFiles/itb_traffic.dir/trace.cpp.o.d"
+  "libitb_traffic.a"
+  "libitb_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checked_grid.dir/test_checked_grid.cpp.o"
+  "CMakeFiles/test_checked_grid.dir/test_checked_grid.cpp.o.d"
+  "test_checked_grid"
+  "test_checked_grid.pdb"
+  "test_checked_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checked_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_sensitivity.dir/test_chunk_sensitivity.cpp.o"
+  "CMakeFiles/test_chunk_sensitivity.dir/test_chunk_sensitivity.cpp.o.d"
+  "test_chunk_sensitivity"
+  "test_chunk_sensitivity.pdb"
+  "test_chunk_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_golden.dir/test_engine_golden.cpp.o"
+  "CMakeFiles/test_engine_golden.dir/test_engine_golden.cpp.o.d"
+  "test_engine_golden"
+  "test_engine_golden.pdb"
+  "test_engine_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kary.dir/test_kary.cpp.o"
+  "CMakeFiles/test_kary.dir/test_kary.cpp.o.d"
+  "test_kary"
+  "test_kary.pdb"
+  "test_kary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_itb.dir/test_network_itb.cpp.o"
+  "CMakeFiles/test_network_itb.dir/test_network_itb.cpp.o.d"
+  "test_network_itb"
+  "test_network_itb.pdb"
+  "test_network_itb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_itb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_parallel.dir/test_obs_parallel.cpp.o"
+  "CMakeFiles/test_obs_parallel.dir/test_obs_parallel.cpp.o.d"
+  "test_obs_parallel"
+  "test_obs_parallel.pdb"
+  "test_obs_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_samplers.dir/test_obs_samplers.cpp.o"
+  "CMakeFiles/test_obs_samplers.dir/test_obs_samplers.cpp.o.d"
+  "test_obs_samplers"
+  "test_obs_samplers.pdb"
+  "test_obs_samplers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_samplers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_events.dir/test_packet_events.cpp.o"
+  "CMakeFiles/test_packet_events.dir/test_packet_events.cpp.o.d"
+  "test_packet_events"
+  "test_packet_events.pdb"
+  "test_packet_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_engine.dir/test_parallel_engine.cpp.o"
+  "CMakeFiles/test_parallel_engine.dir/test_parallel_engine.cpp.o.d"
+  "test_parallel_engine"
+  "test_parallel_engine.pdb"
+  "test_parallel_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

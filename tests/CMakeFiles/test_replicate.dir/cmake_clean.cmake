@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replicate.dir/test_replicate.cpp.o"
+  "CMakeFiles/test_replicate.dir/test_replicate.cpp.o.d"
+  "test_replicate"
+  "test_replicate.pdb"
+  "test_replicate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

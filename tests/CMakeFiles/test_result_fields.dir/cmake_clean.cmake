@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result_fields.dir/test_result_fields.cpp.o"
+  "CMakeFiles/test_result_fields.dir/test_result_fields.cpp.o.d"
+  "test_result_fields"
+  "test_result_fields.pdb"
+  "test_result_fields[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_io.dir/test_route_io.cpp.o"
+  "CMakeFiles/test_route_io.dir/test_route_io.cpp.o.d"
+  "test_route_io"
+  "test_route_io.pdb"
+  "test_route_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

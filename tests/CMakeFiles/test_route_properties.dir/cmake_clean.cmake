@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_properties.dir/test_route_properties.cpp.o"
+  "CMakeFiles/test_route_properties.dir/test_route_properties.cpp.o.d"
+  "test_route_properties"
+  "test_route_properties.pdb"
+  "test_route_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_store_diff.dir/test_route_store_diff.cpp.o"
+  "CMakeFiles/test_route_store_diff.dir/test_route_store_diff.cpp.o.d"
+  "test_route_store_diff"
+  "test_route_store_diff.pdb"
+  "test_route_store_diff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_store_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

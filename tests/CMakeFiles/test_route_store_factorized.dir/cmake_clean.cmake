@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_store_factorized.dir/test_route_store_factorized.cpp.o"
+  "CMakeFiles/test_route_store_factorized.dir/test_route_store_factorized.cpp.o.d"
+  "test_route_store_factorized"
+  "test_route_store_factorized.pdb"
+  "test_route_store_factorized[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_store_factorized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_route_store_factorized.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_route_store_parallel.cpp" "tests/CMakeFiles/test_route_store_parallel.dir/test_route_store_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_route_store_parallel.dir/test_route_store_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/harness/CMakeFiles/itb_harness.dir/DependInfo.cmake"
+  "/root/repo/src/mapper/CMakeFiles/itb_mapper.dir/DependInfo.cmake"
+  "/root/repo/src/analysis/CMakeFiles/itb_analysis.dir/DependInfo.cmake"
+  "/root/repo/src/metrics/CMakeFiles/itb_metrics.dir/DependInfo.cmake"
+  "/root/repo/src/traffic/CMakeFiles/itb_traffic.dir/DependInfo.cmake"
+  "/root/repo/src/check/CMakeFiles/itb_check.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/itb_net.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/itb_core.dir/DependInfo.cmake"
+  "/root/repo/src/route/CMakeFiles/itb_route.dir/DependInfo.cmake"
+  "/root/repo/src/topo/CMakeFiles/itb_topo.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/itb_sim.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/itb_workspace.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/itb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

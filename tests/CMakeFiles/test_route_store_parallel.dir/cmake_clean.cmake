@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_store_parallel.dir/test_route_store_parallel.cpp.o"
+  "CMakeFiles/test_route_store_parallel.dir/test_route_store_parallel.cpp.o.d"
+  "test_route_store_parallel"
+  "test_route_store_parallel.pdb"
+  "test_route_store_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_store_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fuzz.dir/test_sim_fuzz.cpp.o"
+  "CMakeFiles/test_sim_fuzz.dir/test_sim_fuzz.cpp.o.d"
+  "test_sim_fuzz"
+  "test_sim_fuzz.pdb"
+  "test_sim_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stall_detector.dir/test_stall_detector.cpp.o"
+  "CMakeFiles/test_stall_detector.dir/test_stall_detector.cpp.o.d"
+  "test_stall_detector"
+  "test_stall_detector.pdb"
+  "test_stall_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stall_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_generators.dir/test_topo_generators.cpp.o"
+  "CMakeFiles/test_topo_generators.dir/test_topo_generators.cpp.o.d"
+  "test_topo_generators"
+  "test_topo_generators.pdb"
+  "test_topo_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

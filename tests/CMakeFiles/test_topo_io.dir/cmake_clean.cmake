@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_io.dir/test_topo_io.cpp.o"
+  "CMakeFiles/test_topo_io.dir/test_topo_io.cpp.o.d"
+  "test_topo_io"
+  "test_topo_io.pdb"
+  "test_topo_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

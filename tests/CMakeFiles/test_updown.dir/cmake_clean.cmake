@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_updown.dir/test_updown.cpp.o"
+  "CMakeFiles/test_updown.dir/test_updown.cpp.o.d"
+  "test_updown"
+  "test_updown.pdb"
+  "test_updown[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_updown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

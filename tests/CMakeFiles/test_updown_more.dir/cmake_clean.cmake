@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_updown_more.dir/test_updown_more.cpp.o"
+  "CMakeFiles/test_updown_more.dir/test_updown_more.cpp.o.d"
+  "test_updown_more"
+  "test_updown_more.pdb"
+  "test_updown_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_updown_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

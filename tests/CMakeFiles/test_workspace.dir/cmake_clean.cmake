@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workspace.dir/test_workspace.cpp.o"
+  "CMakeFiles/test_workspace.dir/test_workspace.cpp.o.d"
+  "test_workspace"
+  "test_workspace.pdb"
+  "test_workspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itbsim.dir/itbsim.cpp.o"
+  "CMakeFiles/itbsim.dir/itbsim.cpp.o.d"
+  "itbsim"
+  "itbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(itbsim_point "/root/repo/tools/itbsim" "--topology" "torus" "--scheme" "ITB-RR" "--load" "0.008" "--warmup-us" "30" "--measure-us" "60")
+set_tests_properties(itbsim_point PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(itbsim_json "/root/repo/tools/itbsim" "--topology" "torus" "--scheme" "UP/DOWN" "--load" "0.008" "--warmup-us" "30" "--measure-us" "60" "--json")
+set_tests_properties(itbsim_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(itbsim_replications "/root/repo/tools/itbsim" "--topology" "torus" "--scheme" "ITB-SP" "--load" "0.008" "--warmup-us" "30" "--measure-us" "60" "--replications" "3")
+set_tests_properties(itbsim_replications PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(itbsim_sweep_hotspot "/root/repo/tools/itbsim" "--topology" "cplant" "--scheme" "ITB-RR" "--pattern" "hotspot:37:0.05" "--sweep" "0.005:0.02:3" "--warmup-us" "30" "--measure-us" "60")
+set_tests_properties(itbsim_sweep_hotspot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(itbsim_irregular_local "/root/repo/tools/itbsim" "--topology" "irregular:10:2:4:7" "--scheme" "ITB-RR" "--pattern" "local:3" "--load" "0.01" "--warmup-us" "30" "--measure-us" "60")
+set_tests_properties(itbsim_irregular_local PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(itbsim_list_topology "/root/repo/tools/itbsim" "--topology" "express" "--list-topology")
+set_tests_properties(itbsim_list_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(itbsim_rejects_bad_args "/root/repo/tools/itbsim" "--topology" "mars")
+set_tests_properties(itbsim_rejects_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(itbsim_telemetry "/root/repo/tools/itbsim" "--topology" "torus" "--scheme" "ITB-RR" "--load" "0.008" "--warmup-us" "30" "--measure-us" "60" "--trace" "itbsim_telemetry_trace.json" "--trace-raw" "itbsim_telemetry_trace.csv" "--samples" "itbsim_telemetry_samples.csv" "--sample-us" "10" "--profile")
+set_tests_properties(itbsim_telemetry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(itbsim_telemetry_json_mode "/root/repo/tools/itbsim" "--topology" "torus" "--scheme" "ITB-RR" "--load" "0.008" "--warmup-us" "30" "--measure-us" "60" "--json" "--trace-capacity" "256" "--trace" "itbsim_telemetry_small.json")
+set_tests_properties(itbsim_telemetry_json_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(trace2perfetto_roundtrip "/root/.pyenv/shims/python3" "/root/repo/tools/trace2perfetto.py" "itbsim_telemetry_trace.csv" "itbsim_telemetry_converted.json")
+set_tests_properties(trace2perfetto_roundtrip PROPERTIES  DEPENDS "itbsim_telemetry" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;45;add_test;/root/repo/tools/CMakeLists.txt;0;")
